@@ -1,0 +1,336 @@
+package denova_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§V), plus the design ablations. Each benchmark reports the figure's
+// headline metric via b.ReportMetric, so `go test -bench=. -benchmem`
+// regenerates the whole evaluation in summary form; cmd/denova-bench
+// renders the full tables.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"denova"
+	"denova/internal/harness"
+	"denova/internal/pmem"
+	"denova/internal/workload"
+)
+
+// benchWrite runs one workload/model cell per iteration and reports MB/s
+// and space savings.
+func benchWrite(b *testing.B, cfg harness.FSConfig, spec workload.Spec, threads int) {
+	b.Helper()
+	opts := harness.WriteOptions{Threads: threads, ThinkTime: true, Profile: pmem.ProfileOptane}
+	var mbps, savings float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := harness.RunWrite(cfg, spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps += res.MBps()
+		savings += res.Savings
+	}
+	b.ReportMetric(mbps/float64(b.N), "MB/s")
+	b.ReportMetric(savings/float64(b.N)*100, "%savings")
+}
+
+// BenchmarkTable1DeviceProfile validates the per-profile device latencies
+// of Table I (ns per 64 B line read / persisted).
+func BenchmarkTable1DeviceProfile(b *testing.B) {
+	for _, prof := range []pmem.LatencyProfile{pmem.ProfileDRAM, pmem.ProfilePCM, pmem.ProfileSTTRAM, pmem.ProfileOptane} {
+		b.Run(prof.Name, func(b *testing.B) {
+			dev := pmem.New(1<<20, prof)
+			buf := make([]byte, pmem.CacheLineSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dev.Read(0, buf)
+				dev.Write(0, buf)
+				dev.Persist(0, len(buf))
+			}
+		})
+	}
+}
+
+// BenchmarkFig2TfVsTw reports the T_f/T_w ratio per write size (Fig. 2).
+func BenchmarkFig2TfVsTw(b *testing.B) {
+	for _, size := range []int{4 << 10, 64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("size=%dK", size/1024), func(b *testing.B) {
+			var share, ratio float64
+			for i := 0; i < b.N; i++ {
+				r := harness.MeasureTfTw([]int{size}, 20, pmem.ProfileOptane)[0]
+				share += r.TfShare()
+				ratio += float64(r.Tf) / float64(r.Tw)
+			}
+			b.ReportMetric(share/float64(b.N)*100, "%Tf-share")
+			b.ReportMetric(ratio/float64(b.N), "Tf/Tw")
+		})
+	}
+}
+
+// BenchmarkTable4LatencyBreakdown reports write vs dedup latency (Table IV).
+func BenchmarkTable4LatencyBreakdown(b *testing.B) {
+	for _, size := range []int{4 << 10, 128 << 10} {
+		b.Run(fmt.Sprintf("file=%dK", size/1024), func(b *testing.B) {
+			var w, fp, other time.Duration
+			for i := 0; i < b.N; i++ {
+				row, err := harness.MeasureLatencyBreakdown(size, 100, pmem.ProfileOptane)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w += row.WriteLatency
+				fp += row.FPTime
+				other += row.OtherOps
+			}
+			n := time.Duration(b.N)
+			b.ReportMetric(float64((w / n).Microseconds()), "write-us")
+			b.ReportMetric(float64((fp / n).Microseconds()), "fp-us")
+			b.ReportMetric(float64((other / n).Microseconds()), "other-us")
+		})
+	}
+}
+
+// BenchmarkFig8WriteThroughput sweeps model × workload × duplicate ratio.
+func BenchmarkFig8WriteThroughput(b *testing.B) {
+	for _, cfg := range harness.StandardModels() {
+		for _, ratio := range []float64{0, 0.5} {
+			for _, spec := range []workload.Spec{workload.Small(1000, ratio), workload.Large(80, ratio)} {
+				b.Run(fmt.Sprintf("%s/%s/dup=%.0f%%", cfg.Label(), spec.Name, ratio*100), func(b *testing.B) {
+					benchWrite(b, cfg, spec, 1)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig9Threads sweeps the thread count at 50% duplicate ratio.
+func BenchmarkFig9Threads(b *testing.B) {
+	for _, cfg := range []harness.FSConfig{{Mode: denova.ModeNone}, {Mode: denova.ModeImmediate}} {
+		for _, th := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads=%d", cfg.Label(), th), func(b *testing.B) {
+				benchWrite(b, cfg, workload.Small(1000, 0.5), th)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10LingerCDF reports the p90 DWQ lingering time per daemon
+// configuration.
+func BenchmarkFig10LingerCDF(b *testing.B) {
+	configs := []harness.FSConfig{
+		{Mode: denova.ModeImmediate},
+		{Mode: denova.ModeDelayed, N: 20 * time.Millisecond, M: 300},
+		{Mode: denova.ModeDelayed, N: 80 * time.Millisecond, M: 1200},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.Label(), func(b *testing.B) {
+			var p90 float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunLinger(cfg, workload.Small(800, 0.5),
+					harness.WriteOptions{ThinkTime: true, Profile: pmem.ProfileOptane})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p90 += float64(res.CDF.Quantile(0.9).Microseconds())
+			}
+			b.ReportMetric(p90/float64(b.N), "p90-linger-us")
+		})
+	}
+}
+
+// BenchmarkFig11Overwrite reports write and overwrite throughput for the
+// baseline and DeNOVA-Immediate.
+func BenchmarkFig11Overwrite(b *testing.B) {
+	for _, cfg := range []harness.FSConfig{{Mode: denova.ModeNone}, {Mode: denova.ModeImmediate}} {
+		for _, spec := range []workload.Spec{workload.Small(600, 0.5), workload.Large(50, 0.5)} {
+			b.Run(fmt.Sprintf("%s/%s", cfg.Label(), spec.Name), func(b *testing.B) {
+				opts := harness.WriteOptions{ThinkTime: true, Profile: pmem.ProfileOptane}
+				var w, o float64
+				for i := 0; i < b.N; i++ {
+					wr, or, err := harness.RunOverwrite(cfg, spec, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					w += wr.MBps()
+					o += or.MBps()
+				}
+				b.ReportMetric(w/float64(b.N), "write-MB/s")
+				b.ReportMetric(o/float64(b.N), "overwrite-MB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig12Read reports read throughput on deduplicated twins in the
+// read-only and mixed scenarios.
+func BenchmarkFig12Read(b *testing.B) {
+	for _, cfg := range []harness.FSConfig{{Mode: denova.ModeNone}, {Mode: denova.ModeImmediate}} {
+		for _, mixed := range []bool{false, true} {
+			name := "read-only"
+			if mixed {
+				name = "mixed"
+			}
+			b.Run(fmt.Sprintf("%s/%s", cfg.Label(), name), func(b *testing.B) {
+				var mbps float64
+				for i := 0; i < b.N; i++ {
+					res, err := harness.RunRead(cfg, 16<<20, mixed,
+						harness.WriteOptions{Profile: pmem.ProfileOptane})
+					if err != nil {
+						b.Fatal(err)
+					}
+					mbps += res.MBps()
+				}
+				b.ReportMetric(mbps/float64(b.N), "MB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkModelEquations reports the Eq. (3) margin T_f − α·T_w at the
+// worst case α→1 (positive margin = inline dedup cannot win).
+func BenchmarkModelEquations(b *testing.B) {
+	var margin float64
+	for i := 0; i < b.N; i++ {
+		rows := harness.ValidateModel([]float64{0.99}, 100, pmem.ProfileOptane)
+		margin += float64((rows[0].RHS - rows[0].LHS).Microseconds())
+	}
+	b.ReportMetric(margin/float64(b.N), "eq3-margin-us")
+}
+
+// BenchmarkAblationReorder reports the average FACT chain walk with
+// reordering on vs off.
+func BenchmarkAblationReorder(b *testing.B) {
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunReorderAblation(800)
+		if err != nil {
+			b.Fatal(err)
+		}
+		on += res.AvgWalkOn
+		off += res.AvgWalkOff
+	}
+	b.ReportMetric(on/float64(b.N), "walk-reorder-on")
+	b.ReportMetric(off/float64(b.N), "walk-reorder-off")
+}
+
+// BenchmarkAblationDeletePointer reports reclaim-resolution cost via the
+// delete pointer vs re-fingerprinting.
+func BenchmarkAblationDeletePointer(b *testing.B) {
+	var ptr, refp float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunDeletePointerAblation(500, pmem.ProfileOptane)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ptr += float64(res.ViaDeletePtr.Nanoseconds())
+		refp += float64(res.ViaReFingerprt.Nanoseconds())
+	}
+	b.ReportMetric(ptr/float64(b.N), "delete-ptr-ns")
+	b.ReportMetric(refp/float64(b.N), "re-fp-ns")
+}
+
+// BenchmarkAblationEntrySize reports flush traffic per dedup transaction
+// for 1-line vs hypothetical 2-line FACT entries.
+func BenchmarkAblationEntrySize(b *testing.B) {
+	var f64, f128 float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunEntrySizeAblation(400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f64 += res.FlushesPerTxn64B
+		f128 += res.FlushesPerTxn128B
+	}
+	b.ReportMetric(f64/float64(b.N), "flushes/txn-64B")
+	b.ReportMetric(f128/float64(b.N), "flushes/txn-128B")
+}
+
+// BenchmarkCoreWritePath measures the raw foreground write path (no think
+// time, zero-latency device): the file system software overhead itself.
+func BenchmarkCoreWritePath(b *testing.B) {
+	dev := denova.NewDevice(1<<30, pmem.ProfileZero)
+	fs, err := denova.Mkfs(dev, denova.Config{Mode: denova.ModeNone, MaxInodes: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := fs.Create("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(data, int64(i%1024)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreReadPath measures the raw read path.
+func BenchmarkCoreReadPath(b *testing.B) {
+	dev := denova.NewDevice(1<<30, pmem.ProfileZero)
+	fs, err := denova.Mkfs(dev, denova.Config{Mode: denova.ModeNone, MaxInodes: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := fs.Create("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 1<<20)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ReadAt(buf, int64(i%256)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFACTLookup measures a FACT BeginTxn/CommitTxn round trip on a
+// populated table (the §IV-C "high access speed" claim).
+func BenchmarkFACTLookup(b *testing.B) {
+	dev := denova.NewDevice(256<<20, pmem.ProfileZero)
+	fs, err := denova.Mkfs(dev, denova.Config{Mode: denova.ModeImmediate, NoDaemon: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate with 1000 unique pages, then loop dedup hits against them.
+	gen := workload.NewGenerator(workload.Spec{Name: "p", FileSize: 4096, NumFiles: 1000, DupRatio: 0, Seed: 1})
+	f, err := fs.Create("base")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := f.WriteAt(gen.FileData(i), int64(i)*4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fs.Sync()
+	g, err := fs.Create("dups")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.WriteAt(gen.FileData(i%1000), int64(i%1000)*4096); err != nil {
+			b.Fatal(err)
+		}
+		if i%1000 == 999 {
+			b.StopTimer()
+			fs.Sync()
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	fs.Sync()
+	st := fs.Stats()
+	if st.Fact.Lookups > 0 {
+		b.ReportMetric(st.Fact.AvgWalk(), "avg-chain-walk")
+	}
+}

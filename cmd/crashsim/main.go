@@ -1,0 +1,360 @@
+// Command crashsim mechanizes the paper's §V-C consistency and failure
+// analysis: instead of arguing over a handful of hand-picked crash windows,
+// it sweeps an injected crash across EVERY persist point of the
+// deduplication and reclamation paths, recovers each truncated image, and
+// checks the §V-C invariants:
+//
+//	I1  file contents readable and correct after recovery,
+//	I2  FACT structural invariants hold (chains, counts, delete pointers),
+//	I3  no update count survives recovery,
+//	I4  deduplication can resume and complete after recovery,
+//	I5  shared pages are never lost while still referenced.
+//
+// Scenarios: dedup (crash during the Fig. 6 transaction), reclaim (crash
+// while overwriting deduplicated shared pages), reorder (crash during the
+// Fig. 7 IAA chain reordering), mixed (random multi-file workload). The
+// eviction flag additionally randomizes which unflushed cache lines persist
+// at the crash (cache-eviction model), with several seeds per crash point.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"denova"
+	"denova/internal/pmem"
+	"denova/internal/workload"
+)
+
+var (
+	scenario = flag.String("scenario", "all", "dedup, reclaim, reorder, mixed, or all")
+	evict    = flag.Bool("evict", true, "also test random cache-eviction crash images")
+	seeds    = flag.Int("seeds", 3, "eviction seeds per crash point")
+	verbose  = flag.Bool("v", false, "log each crash point")
+)
+
+func main() {
+	flag.Parse()
+	scenarios := map[string]func() (int, error){
+		"dedup":   sweepDedup,
+		"reclaim": sweepReclaim,
+		"reorder": sweepReorder,
+		"mixed":   sweepMixed,
+	}
+	names := []string{"dedup", "reclaim", "reorder", "mixed"}
+	if *scenario != "all" {
+		if _, ok := scenarios[*scenario]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+			os.Exit(2)
+		}
+		names = []string{*scenario}
+	}
+	failed := false
+	for _, name := range names {
+		start := time.Now()
+		points, err := scenarios[name]()
+		if err != nil {
+			fmt.Printf("FAIL %-8s %v\n", name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("PASS %-8s %d crash points survived (%v)\n", name, points, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+const devSize = 48 << 20
+
+// setup builds a dirty (never cleanly unmounted) base image with the given
+// populate function applied and all dedup drained.
+func setup(populate func(fs *denova.FS) error) (*pmem.Device, error) {
+	dev := denova.NewDevice(devSize, denova.ProfileZero)
+	fs, err := denova.Mkfs(dev, denova.Config{Mode: denova.ModeImmediate, NoDaemon: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := populate(fs); err != nil {
+		return nil, err
+	}
+	fs.UnmountDirty()
+	return dev, nil
+}
+
+// mountFS mounts an image daemon-less so the sweep controls when dedup
+// runs and injected crashes unwind on this goroutine.
+func mountFS(dev *pmem.Device) (*denova.FS, error) {
+	fs, _, err := denova.Mount(dev, denova.Config{Mode: denova.ModeImmediate, NoDaemon: true})
+	return fs, err
+}
+
+// sweep runs op once to count persist points, then re-runs it with a crash
+// injected at every point (and optionally eviction-randomized images),
+// calling check on every recovered file system.
+func sweep(base *pmem.Device, op func(fs *denova.FS) error, check func(fs *denova.FS, k int64) error) (int, error) {
+	probe := base.Clone()
+	fsP, err := mountFS(probe)
+	if err != nil {
+		return 0, err
+	}
+	start := probe.PersistOps()
+	if err := op(fsP); err != nil {
+		return 0, err
+	}
+	total := probe.PersistOps() - start
+	if total == 0 {
+		return 0, fmt.Errorf("operation performed no persists; sweep is vacuous")
+	}
+
+	for k := int64(1); k <= total; k++ {
+		if *verbose {
+			fmt.Printf("  crash point %d/%d\n", k, total)
+		}
+		work := base.Clone()
+		fsW, err := mountFS(work)
+		if err != nil {
+			return 0, err
+		}
+		work.SetCrashAfter(k)
+		crashed := pmem.RunToCrash(func() {
+			if err := op(fsW); err != nil && *verbose {
+				fmt.Printf("  op error before crash at k=%d: %v\n", k, err)
+			}
+		})
+		if !crashed {
+			return 0, fmt.Errorf("k=%d: crash did not fire (total=%d)", k, total)
+		}
+		images := []*pmem.Device{work.CrashImage(pmem.CrashDropDirty, k)}
+		if *evict {
+			for s := 0; s < *seeds; s++ {
+				images = append(images, work.CrashImage(pmem.CrashEvictRandom, k*7919+int64(s)))
+			}
+		}
+		for i, img := range images {
+			fsR, err := mountFS(img)
+			if err != nil {
+				return 0, fmt.Errorf("k=%d image %d: recovery mount failed: %v", k, i, err)
+			}
+			if err := fsR.CheckFACTInvariants(); err != nil {
+				return 0, fmt.Errorf("k=%d image %d: %v", k, i, err)
+			}
+			if err := check(fsR, k); err != nil {
+				return 0, fmt.Errorf("k=%d image %d: %v", k, i, err)
+			}
+		}
+	}
+	return int(total), nil
+}
+
+func wantData(spec workload.Spec, i int) []byte {
+	return workload.NewGenerator(spec).FileData(i)
+}
+
+func verifyFile(fs *denova.FS, name string, want []byte) error {
+	f, err := fs.Open(name)
+	if err != nil {
+		return fmt.Errorf("file %q lost: %v", name, err)
+	}
+	got := make([]byte, len(want))
+	n, err := f.ReadAt(got, 0)
+	if err != nil {
+		return err
+	}
+	if n != len(want) || !bytes.Equal(got[:n], want) {
+		return fmt.Errorf("file %q corrupted", name)
+	}
+	return nil
+}
+
+// sweepDedup crashes inside the Fig. 6 deduplication transaction.
+func sweepDedup() (int, error) {
+	spec := workload.Spec{Name: "x", FileSize: 3 * 4096, NumFiles: 2, DupRatio: 0, Seed: 4}
+	dataA := wantData(spec, 0)
+	dataB := append(append([]byte{}, dataA[:4096]...), wantData(spec, 1)[4096:]...) // shares page 0 with A
+	base, err := setup(func(fs *denova.FS) error {
+		for name, data := range map[string][]byte{"a": dataA, "b": dataB} {
+			f, err := fs.Create(name)
+			if err != nil {
+				return err
+			}
+			if _, err := f.WriteAt(data, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	op := func(fs *denova.FS) error { fs.Sync(); return nil }
+	check := func(fs *denova.FS, k int64) error {
+		if err := verifyFile(fs, "a", dataA); err != nil {
+			return err
+		}
+		if err := verifyFile(fs, "b", dataB); err != nil {
+			return err
+		}
+		// I4: dedup completes after recovery and content still holds.
+		fs.Sync()
+		if err := verifyFile(fs, "a", dataA); err != nil {
+			return fmt.Errorf("after resumed dedup: %v", err)
+		}
+		if err := verifyFile(fs, "b", dataB); err != nil {
+			return fmt.Errorf("after resumed dedup: %v", err)
+		}
+		return fs.CheckFACTInvariants()
+	}
+	return sweep(base, op, check)
+}
+
+// sweepReclaim crashes while overwriting files whose pages are shared.
+func sweepReclaim() (int, error) {
+	spec := workload.Spec{Name: "x", FileSize: 2 * 4096, NumFiles: 1, DupRatio: 0, Seed: 8}
+	shared := wantData(spec, 0)
+	base, err := setup(func(fs *denova.FS) error {
+		for _, name := range []string{"a", "b"} {
+			f, err := fs.Create(name)
+			if err != nil {
+				return err
+			}
+			if _, err := f.WriteAt(shared, 0); err != nil {
+				return err
+			}
+		}
+		fs.Sync() // fully deduplicated: a and b share both pages
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	spec2 := spec
+	spec2.Seed = 88
+	newData := wantData(spec2, 0)
+	op := func(fs *denova.FS) error {
+		f, err := fs.Open("a")
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(newData, 0); err != nil {
+			return err
+		}
+		fs.Sync()
+		return nil
+	}
+	check := func(fs *denova.FS, k int64) error {
+		// I5: b must never lose the shared data, whatever happened to a.
+		if err := verifyFile(fs, "b", shared); err != nil {
+			return err
+		}
+		// a reads as old or new per page (entry-atomic CoW).
+		f, err := fs.Open("a")
+		if err != nil {
+			return err
+		}
+		page := make([]byte, 4096)
+		for pg := int64(0); pg < 2; pg++ {
+			if _, err := f.ReadAt(page, pg*4096); err != nil {
+				return err
+			}
+			if !bytes.Equal(page, shared[pg*4096:(pg+1)*4096]) && !bytes.Equal(page, newData[pg*4096:(pg+1)*4096]) {
+				return fmt.Errorf("file a page %d neither old nor new", pg)
+			}
+		}
+		return nil
+	}
+	return sweep(base, op, check)
+}
+
+// sweepReorder crashes inside the FACT chain-reordering protocol by driving
+// a workload hot enough to trigger reorders during the drain.
+func sweepReorder() (int, error) {
+	spec := workload.Spec{Name: "zipf", FileSize: 4096, NumFiles: 60, DupRatio: 0.95, PoolSize: 24, Zipf: true, Seed: 6}
+	gen := workload.NewGenerator(spec)
+	base, err := setup(func(fs *denova.FS) error {
+		for i := 0; i < spec.NumFiles; i++ {
+			f, err := fs.Create(gen.FileName(i))
+			if err != nil {
+				return err
+			}
+			if _, err := f.WriteAt(gen.FileData(i), 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	op := func(fs *denova.FS) error { fs.Sync(); return nil }
+	check := func(fs *denova.FS, k int64) error {
+		fs.Sync() // resume
+		for i := 0; i < spec.NumFiles; i += 7 {
+			if err := verifyFile(fs, gen.FileName(i), gen.FileData(i)); err != nil {
+				return err
+			}
+		}
+		return fs.CheckFACTInvariants()
+	}
+	return sweep(base, op, check)
+}
+
+// sweepMixed crashes inside a combined create/overwrite/delete/dedup churn.
+func sweepMixed() (int, error) {
+	spec := workload.Spec{Name: "mix", FileSize: 2 * 4096, NumFiles: 8, DupRatio: 0.5, Seed: 12}
+	gen := workload.NewGenerator(spec)
+	base, err := setup(func(fs *denova.FS) error {
+		for i := 0; i < spec.NumFiles; i++ {
+			f, err := fs.Create(gen.FileName(i))
+			if err != nil {
+				return err
+			}
+			if _, err := f.WriteAt(gen.FileData(i), 0); err != nil {
+				return err
+			}
+		}
+		fs.Sync()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	spec2 := spec
+	spec2.Seed = 120
+	gen2 := workload.NewGenerator(spec2)
+	op := func(fs *denova.FS) error {
+		if err := fs.Remove(gen.FileName(0)); err != nil {
+			return err
+		}
+		f, err := fs.Open(gen.FileName(1))
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(gen2.FileData(1), 0); err != nil {
+			return err
+		}
+		nf, err := fs.Create("fresh")
+		if err != nil {
+			return err
+		}
+		if _, err := nf.WriteAt(gen2.FileData(7), 0); err != nil {
+			return err
+		}
+		fs.Sync()
+		return nil
+	}
+	check := func(fs *denova.FS, k int64) error {
+		// Untouched files must be intact in every image.
+		for i := 2; i < spec.NumFiles; i++ {
+			if err := verifyFile(fs, gen.FileName(i), gen.FileData(i)); err != nil {
+				return err
+			}
+		}
+		fs.Sync()
+		return fs.CheckFACTInvariants()
+	}
+	return sweep(base, op, check)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"denova/internal/harness"
+)
+
+// Optional CSV emission: with -csvdir set, every figure also writes its
+// data series as a CSV file for plotting.
+
+var csvdir = flag.String("csvdir", "", "also write each figure's data as CSV into this directory")
+
+func writeCSV(name string, header []string, rows [][]string) error {
+	if *csvdir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*csvdir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(*csvdir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("[csv: %s]\n", path)
+	return nil
+}
+
+// csvWriteResults converts a write-result series to CSV rows.
+func csvWriteResults(name string, rows []harness.WriteResult) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Model, r.Workload,
+			strconv.FormatFloat(r.DupRatio, 'f', 2, 64),
+			strconv.Itoa(r.Threads),
+			strconv.FormatFloat(r.MBps(), 'f', 2, 64),
+			strconv.FormatFloat(r.Savings, 'f', 4, 64),
+			strconv.FormatInt(r.DrainTime.Milliseconds(), 10),
+		})
+	}
+	return writeCSV(name, []string{"model", "workload", "dup_ratio", "threads", "mbps", "savings", "drain_ms"}, out)
+}
+
+// csvLinger converts linger CDFs to CSV (one row per percentile point).
+func csvLinger(name string, rows []harness.LingerResult) error {
+	var out [][]string
+	for _, r := range rows {
+		xs, ys := r.CDF.Series(100)
+		for i := range xs {
+			out = append(out, []string{
+				r.Model,
+				strconv.FormatFloat(ys[i], 'f', 2, 64),
+				strconv.FormatInt(xs[i].Microseconds(), 10),
+			})
+		}
+	}
+	return writeCSV(name, []string{"model", "fraction", "linger_us"}, out)
+}
+
+// csvTfTw converts Fig. 2 rows.
+func csvTfTw(name string, rows []harness.TfTwResult) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.WriteSize),
+			strconv.FormatInt(r.Tw.Nanoseconds(), 10),
+			strconv.FormatInt(r.Tf.Nanoseconds(), 10),
+			strconv.FormatInt(r.Tfw.Nanoseconds(), 10),
+		})
+	}
+	return writeCSV(name, []string{"write_size_bytes", "tw_ns", "tf_ns", "tfw_ns"}, out)
+}
+
+// csvReads converts Fig. 12 rows.
+func csvReads(name string, rows []harness.ReadResult) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Model, r.Scenario, strconv.FormatFloat(r.MBps(), 'f', 2, 64)})
+	}
+	return writeCSV(name, []string{"model", "scenario", "mbps"}, out)
+}

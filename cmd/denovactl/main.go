@@ -1,0 +1,274 @@
+// Command denovactl is an interactive/administrative CLI for a DeNOVA file
+// system living in a device image file. The simulated PM device is backed
+// by an ordinary file on disk: "mkfs" creates it, every other subcommand
+// loads it, applies the operation, and writes the (cleanly unmounted) image
+// back — a persistence model analogous to a PM DIMM that survives reboots.
+//
+// Usage:
+//
+//	denovactl -img fs.img [-mode immediate] <command> [args]
+//
+// Commands:
+//
+//	mkfs -size 256M                create a fresh file system image
+//	write <path> <local-file>      store a local file
+//	cat <path>                     print a stored file to stdout
+//	ls [path]                      list a directory (default: root)
+//	mkdir <path>                   create a directory
+//	rmdir <path>                   remove an empty directory
+//	rm <path>                      delete a file
+//	stats                          space, dedup and device statistics
+//	fsck                           deep-verify file system + FACT invariants
+//	scrub                          run one FACT scrubber pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"denova"
+)
+
+var (
+	img  = flag.String("img", "denova.img", "device image file")
+	mode = flag.String("mode", "immediate", "dedup mode: none, inline, immediate, delayed")
+	size = flag.String("size", "256M", "device size for mkfs (e.g. 64M, 1G)")
+)
+
+func parseMode(s string) (denova.Mode, error) {
+	switch s {
+	case "none":
+		return denova.ModeNone, nil
+	case "inline":
+		return denova.ModeInline, nil
+	case "immediate":
+		return denova.ModeImmediate, nil
+	case "delayed":
+		return denova.ModeDelayed, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "denovactl:", err)
+	os.Exit(1)
+}
+
+func cfg() denova.Config {
+	m, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	return denova.Config{Mode: m, DelayInterval: 250 * time.Millisecond, DelayBatch: 10000}
+}
+
+// loadImage reads the image file into a fresh device (zero latency: this is
+// an admin tool, not a benchmark).
+func loadImage() *denova.Device {
+	raw, err := os.ReadFile(*img)
+	if err != nil {
+		fatal(fmt.Errorf("reading image (run mkfs first?): %w", err))
+	}
+	dev := denova.NewDevice(int64(len(raw)), denova.ProfileZero)
+	dev.WriteNT(0, raw)
+	return dev
+}
+
+// saveImage unmounts and writes the device contents back to the image file.
+func saveImage(fs *denova.FS, dev *denova.Device) {
+	if err := fs.Unmount(); err != nil {
+		fatal(err)
+	}
+	raw := make([]byte, dev.Size())
+	dev.Read(0, raw)
+	if err := os.WriteFile(*img, raw, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func mount() (*denova.FS, *denova.Device) {
+	dev := loadImage()
+	fs, _, err := denova.Mount(dev, cfg())
+	if err != nil {
+		fatal(err)
+	}
+	return fs, dev
+}
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: denovactl [flags] <mkfs|write|cat|ls|mkdir|rmdir|rm|stats|fsck|scrub> [args]")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "mkfs":
+		sz, err := parseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		dev := denova.NewDevice(sz, denova.ProfileZero)
+		fs, err := denova.Mkfs(dev, cfg())
+		if err != nil {
+			fatal(err)
+		}
+		saveImage(fs, dev)
+		fmt.Printf("created %s: %d bytes, mode %s\n", *img, sz, cfg().Mode)
+
+	case "write":
+		if len(args) != 3 {
+			fatal(fmt.Errorf("usage: write <name> <local-file>"))
+		}
+		data, err := os.ReadFile(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		fs, dev := mount()
+		f, err := fs.Create(args[1])
+		if err == denova.ErrExist {
+			f, err = fs.Open(args[1])
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := f.WriteAt(data, 0); err != nil {
+			fatal(err)
+		}
+		fs.Sync()
+		st := fs.Stats()
+		saveImage(fs, dev)
+		fmt.Printf("wrote %q: %d bytes (savings now %.1f%%)\n", args[1], len(data), st.Space.Savings()*100)
+
+	case "cat":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("usage: cat <name>"))
+		}
+		fs, _ := mount()
+		f, err := fs.Open(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		buf := make([]byte, f.Size())
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			fatal(err)
+		}
+		if _, err := io.Copy(os.Stdout, strings.NewReader(string(buf))); err != nil {
+			fatal(err)
+		}
+		fs.Unmount()
+
+	case "ls":
+		fs, _ := mount()
+		dir := ""
+		if len(args) > 1 {
+			dir = args[1]
+		}
+		names, err := fs.List(dir)
+		if err != nil {
+			fatal(err)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			full := n
+			if dir != "" {
+				full = dir + "/" + n
+			}
+			f, err := fs.Open(full)
+			if err != nil {
+				fmt.Printf("%12s  %s/\n", "<dir>", n)
+				continue
+			}
+			fmt.Printf("%12d  %s\n", f.Size(), n)
+		}
+		fs.Unmount()
+
+	case "rm":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("usage: rm <name>"))
+		}
+		fs, dev := mount()
+		if err := fs.Remove(args[1]); err != nil {
+			fatal(err)
+		}
+		saveImage(fs, dev)
+		fmt.Printf("removed %q\n", args[1])
+
+	case "stats":
+		fs, _ := mount()
+		st := fs.Stats()
+		fmt.Printf("mode:            %s\n", fs.Mode())
+		fmt.Printf("data blocks:     %d total, %d free\n", st.Space.TotalBlocks, st.Space.FreeBlocks)
+		fmt.Printf("logical pages:   %d\n", st.Space.LogicalPages)
+		fmt.Printf("physical pages:  %d\n", st.Space.PhysicalPages)
+		fmt.Printf("space savings:   %.1f%%\n", st.Space.Savings()*100)
+		fmt.Printf("dedup:           %d entries processed, %d dup pages, %d unique pages\n",
+			st.Dedup.EntriesProcessed, st.Dedup.PagesDuplicate, st.Dedup.PagesUnique)
+		fmt.Printf("FACT:            %d lookups (avg walk %.2f), %d inserts, %d reorders\n",
+			st.Fact.Lookups, st.Fact.AvgWalk(), st.Fact.Inserts, st.Fact.Reorders)
+		fmt.Printf("device:          %s\n", st.Device)
+		fs.Unmount()
+
+	case "mkdir":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("usage: mkdir <path>"))
+		}
+		fs, dev := mount()
+		if err := fs.Mkdir(args[1]); err != nil {
+			fatal(err)
+		}
+		saveImage(fs, dev)
+		fmt.Printf("created directory %q\n", args[1])
+
+	case "rmdir":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("usage: rmdir <path>"))
+		}
+		fs, dev := mount()
+		if err := fs.Rmdir(args[1]); err != nil {
+			fatal(err)
+		}
+		saveImage(fs, dev)
+		fmt.Printf("removed directory %q\n", args[1])
+
+	case "fsck":
+		fs, _ := mount()
+		if err := fs.Fsck(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("fsck: all invariants OK")
+		fs.Unmount()
+
+	case "scrub":
+		fs, dev := mount()
+		n := fs.ScrubNow()
+		saveImage(fs, dev)
+		fmt.Printf("scrubber reclaimed %d leaked pages\n", n)
+
+	default:
+		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}

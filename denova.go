@@ -1,0 +1,309 @@
+// Package denova is a from-scratch reproduction of "DeNOVA: Deduplication
+// Extended NOVA File System" (Kwon et al., IPPS 2022): a log-structured
+// NVM file system in the style of NOVA, extended with DeNOVA's offline
+// deduplication — a DRAM-free persistent metadata table (FACT), a
+// deduplication work queue drained by a background daemon, and count-based
+// crash consistency.
+//
+// The persistent-memory device is simulated (see internal/pmem): stores
+// become durable at cache-line granularity through explicit flushes, media
+// latencies are modelled on Intel Optane DC PM, and crashes can be injected
+// at any persist point.
+//
+// Quick start:
+//
+//	dev := denova.NewDevice(1<<30, denova.ProfileOptane)
+//	fs, err := denova.Mkfs(dev, denova.Config{Mode: denova.ModeImmediate})
+//	f, err := fs.Create("hello")
+//	f.WriteAt(data, 0)
+//	fs.Sync()            // wait for background dedup to drain
+//	st := fs.Stats()     // space savings, FACT counters, device counters
+//	fs.Unmount()
+package denova
+
+import (
+	"fmt"
+	"time"
+
+	"denova/internal/dedup"
+	"denova/internal/fact"
+	"denova/internal/nova"
+	"denova/internal/pmem"
+)
+
+// Device is the simulated persistent-memory device file systems live on.
+type Device = pmem.Device
+
+// LatencyProfile describes media timing; see the predefined profiles.
+type LatencyProfile = pmem.LatencyProfile
+
+// Predefined device latency profiles (Table I of the paper).
+var (
+	ProfileZero   = pmem.ProfileZero   // no injected latency (unit tests)
+	ProfileOptane = pmem.ProfileOptane // Intel Optane DC PM
+	ProfileDRAM   = pmem.ProfileDRAM   // DRAM (the paper's emulation host)
+	ProfilePCM    = pmem.ProfilePCM    // phase-change memory
+	ProfileSTTRAM = pmem.ProfileSTTRAM // STT-RAM
+)
+
+// NewDevice creates a zeroed simulated PM device of the given size.
+func NewDevice(size int64, prof LatencyProfile) *Device { return pmem.New(size, prof) }
+
+// Mode selects the deduplication strategy, matching the models evaluated
+// in §V-A.
+type Mode int
+
+const (
+	// ModeNone is baseline NOVA: no deduplication at all.
+	ModeNone Mode = iota
+	// ModeInline performs the whole dedup pipeline in the write path
+	// (the DENOVA-Inline baseline, NV-Dedup methodology).
+	ModeInline
+	// ModeImmediate runs the dedup daemon with aggressive polling (n=0):
+	// entries are deduplicated as soon as they are enqueued.
+	ModeImmediate
+	// ModeDelayed runs the daemon every Config.DelayInterval, consuming at
+	// most Config.DelayBatch entries per trigger — DENOVA-Delayed(n, m).
+	ModeDelayed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "nova-baseline"
+	case ModeInline:
+		return "denova-inline"
+	case ModeImmediate:
+		return "denova-immediate"
+	case ModeDelayed:
+		return "denova-delayed"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config tunes a file-system instance.
+type Config struct {
+	// Mode selects the deduplication strategy. Default ModeNone.
+	Mode Mode
+	// DelayInterval and DelayBatch are the daemon's (n, m) in ModeDelayed.
+	DelayInterval time.Duration
+	DelayBatch    int
+	// MaxInodes bounds the inode table (default 4096).
+	MaxInodes int64
+	// DisableReorder turns off FACT IAA chain reordering (§IV-E), for
+	// ablation experiments.
+	DisableReorder bool
+	// ScrubEvery runs the background FACT scrubber every N daemon wakeups
+	// (0 = never; scrubbing also runs explicitly via ScrubNow).
+	ScrubEvery int
+	// NoDaemon suppresses the background daemon for the offline modes:
+	// queued work runs only when Sync is called, on the caller's
+	// goroutine. Crash-injection harnesses need this so an injected panic
+	// unwinds through the caller's recover.
+	NoDaemon bool
+}
+
+func (c *Config) fill() {
+	if c.MaxInodes == 0 {
+		c.MaxInodes = 4096
+	}
+	if c.Mode == ModeDelayed {
+		if c.DelayInterval <= 0 {
+			c.DelayInterval = 750 * time.Millisecond
+		}
+		if c.DelayBatch == 0 {
+			c.DelayBatch = 20000
+		}
+	}
+}
+
+// FS is a mounted DeNOVA file system.
+type FS struct {
+	dev    *Device
+	cfg    Config
+	fs     *nova.FS
+	table  *fact.Table
+	engine *dedup.Engine
+	daemon *dedup.Daemon
+}
+
+// Mkfs formats the device and mounts a fresh file system.
+func Mkfs(dev *Device, cfg Config) (*FS, error) {
+	cfg.fill()
+	nfs, err := nova.Mkfs(dev, cfg.MaxInodes)
+	if err != nil {
+		return nil, err
+	}
+	f := &FS{dev: dev, cfg: cfg, fs: nfs}
+	// The FACT region is always initialized (prev/next/delete pointers to
+	// None), even in ModeNone — the region is reserved by the geometry
+	// regardless, and later mounts in a dedup mode expect a valid table.
+	table := fact.New(dev, factConfig(nfs.Geo))
+	table.ZeroFill()
+	if cfg.Mode != ModeNone {
+		f.table = table
+		f.table.ReorderEnabled = !cfg.DisableReorder
+		f.engine = dedup.NewEngine(nfs, f.table)
+		f.wireMode()
+	}
+	return f, nil
+}
+
+// RecoveryInfo reports what mount-time recovery found and repaired.
+type RecoveryInfo struct {
+	// Clean is true when the device was cleanly unmounted.
+	Clean bool
+	// Orphans lists inode numbers reclaimed by the namespace scan.
+	Orphans []uint64
+	// Dedup carries the §V-C dedup recovery report (zero value for
+	// ModeNone).
+	Dedup dedup.RecoveryReport
+}
+
+// Mount opens a previously formatted device. The Config must use a dedup
+// mode compatible with the on-device state: a device that has ever
+// deduplicated cannot be mounted with ModeNone (shared pages would be
+// freed while still referenced).
+func Mount(dev *Device, cfg Config) (*FS, *RecoveryInfo, error) {
+	cfg.fill()
+	var opts []nova.Option
+	nfs, scan, err := nova.Mount(dev, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := &FS{dev: dev, cfg: cfg, fs: nfs}
+	info := &RecoveryInfo{Clean: scan.Clean, Orphans: scan.Orphans}
+	table := fact.Attach(dev, factConfig(nfs.Geo))
+	if cfg.Mode == ModeNone {
+		table.RecoverStructure()
+		if table.LiveEntries() > 0 {
+			return nil, nil, fmt.Errorf("denova: device holds deduplicated data; mount with a dedup mode, not ModeNone")
+		}
+		return f, info, nil
+	}
+	f.table = table
+	f.table.ReorderEnabled = !cfg.DisableReorder
+	f.engine = dedup.NewEngine(nfs, f.table)
+	info.Dedup = dedup.Recover(f.engine, scan)
+	f.wireMode()
+	return f, info, nil
+}
+
+func factConfig(g nova.Geometry) fact.Config {
+	return fact.Config{
+		Base:       g.FactOff,
+		PrefixBits: g.FactPrefixBits,
+		DataStart:  g.DataStartBlock,
+		NumData:    g.NumDataBlocks,
+	}
+}
+
+// wireMode starts the daemon for the offline modes. Inline mode keeps the
+// engine as releaser but neither enqueues nor runs a daemon.
+func (f *FS) wireMode() {
+	switch f.cfg.Mode {
+	case ModeInline:
+		f.fs.SetWriteHook(nil) // inline writes never enter the DWQ
+	case ModeImmediate, ModeDelayed:
+		if f.cfg.NoDaemon {
+			return
+		}
+	}
+	switch f.cfg.Mode {
+	case ModeImmediate:
+		f.daemon = dedup.NewDaemon(f.engine, dedup.DaemonConfig{Interval: 0, ScrubEvery: f.cfg.ScrubEvery})
+		f.daemon.Start()
+	case ModeDelayed:
+		f.daemon = dedup.NewDaemon(f.engine, dedup.DaemonConfig{
+			Interval:   f.cfg.DelayInterval,
+			Batch:      f.cfg.DelayBatch,
+			ScrubEvery: f.cfg.ScrubEvery,
+		})
+		f.daemon.Start()
+	}
+}
+
+// Mode returns the configured deduplication mode.
+func (f *FS) Mode() Mode { return f.cfg.Mode }
+
+// Device returns the underlying PM device.
+func (f *FS) Device() *Device { return f.dev }
+
+// Sync blocks until the deduplication queue is fully drained (no-op for
+// ModeNone/ModeInline).
+func (f *FS) Sync() {
+	if f.daemon != nil {
+		f.daemon.DrainSync()
+	} else if f.engine != nil {
+		f.engine.Drain()
+	}
+}
+
+// ScrubNow runs one FACT scrubber pass synchronously (the §V-C2 background
+// service). Only valid while the daemon is quiescent; prefer
+// Config.ScrubEvery for continuous operation.
+func (f *FS) ScrubNow() int {
+	if f.engine == nil {
+		return 0
+	}
+	if f.daemon != nil {
+		f.daemon.Stop()
+		defer func() {
+			f.wireMode()
+		}()
+	}
+	return f.engine.ScrubNow()
+}
+
+// QueueLen returns the current DWQ length.
+func (f *FS) QueueLen() int {
+	if f.engine == nil {
+		return 0
+	}
+	return f.engine.DWQ().Len()
+}
+
+// QueuePeak returns the largest DWQ length observed — the queue's DRAM
+// high-water mark (§V-B2).
+func (f *FS) QueuePeak() int {
+	if f.engine == nil {
+		return 0
+	}
+	return f.engine.DWQ().Peak()
+}
+
+// Geometry exposes the on-device region sizes for overhead reporting.
+func (f *FS) Geometry() (deviceBytes, factBytes, dataBytes int64) {
+	g := f.fs.Geo
+	return g.DevSize, g.FactPages * 4096, g.NumDataBlocks * 4096
+}
+
+// SetLingerHook observes each DWQ node's queue residence time (Fig. 10).
+// Must be set before writes begin.
+func (f *FS) SetLingerHook(h func(time.Duration)) {
+	if f.engine != nil {
+		f.engine.DWQ().LingerHook = h
+	}
+}
+
+// Unmount stops the daemon, persists the DWQ snapshot, flushes inode
+// summaries, and marks the superblock clean.
+func (f *FS) Unmount() error {
+	if f.daemon != nil {
+		f.daemon.Stop()
+		f.daemon = nil
+	}
+	if f.engine != nil && f.cfg.Mode != ModeInline {
+		dedup.SaveDWQ(f.engine)
+	}
+	return f.fs.Unmount()
+}
+
+// UnmountDirty simulates pulling the plug without any of the clean-
+// shutdown work (for recovery tests): it only stops the daemon goroutine.
+func (f *FS) UnmountDirty() {
+	if f.daemon != nil {
+		f.daemon.Stop()
+		f.daemon = nil
+	}
+}

@@ -1,0 +1,145 @@
+package denova
+
+import (
+	"fmt"
+
+	"denova/internal/nova"
+)
+
+// File is a handle to a regular file. Handles stay valid until the file is
+// removed or the file system is unmounted.
+type File struct {
+	fs   *FS
+	in   *nova.Inode
+	name string
+}
+
+// ErrExist mirrors the underlying file-system error for existing names.
+var ErrExist = nova.ErrExist
+
+// ErrNotExist mirrors the underlying file-system error for missing names.
+var ErrNotExist = nova.ErrNotExist
+
+// Create makes a new empty file.
+func (f *FS) Create(name string) (*File, error) {
+	in, err := f.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &File{fs: f, in: in, name: name}, nil
+}
+
+// Open returns a handle to an existing file.
+func (f *FS) Open(name string) (*File, error) {
+	in, err := f.fs.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return &File{fs: f, in: in, name: name}, nil
+}
+
+// Remove unlinks a file and reclaims its space (shared deduplicated pages
+// survive until their reference counts drain).
+func (f *FS) Remove(name string) error { return f.fs.Delete(name) }
+
+// Mkdir creates a directory (parent directories must already exist).
+func (f *FS) Mkdir(path string) error {
+	_, err := f.fs.Mkdir(path)
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (f *FS) Rmdir(path string) error { return f.fs.Rmdir(path) }
+
+// List returns the entries of the directory at path ("" for the root).
+func (f *FS) List(path string) ([]string, error) { return f.fs.NamesAt(path) }
+
+// Names lists the root directory contents.
+func (f *FS) Names() []string { return f.fs.Names() }
+
+// Errors surfaced by namespace operations.
+var (
+	ErrNotDir   = nova.ErrNotDir
+	ErrIsDir    = nova.ErrIsDir
+	ErrNotEmpty = nova.ErrNotEmpty
+)
+
+// Name returns the file's name.
+func (fl *File) Name() string { return fl.name }
+
+// Size returns the current file size in bytes.
+func (fl *File) Size() int64 { return int64(fl.in.Size()) }
+
+// WriteAt writes len(p) bytes at offset off, routed through the configured
+// deduplication mode. It returns len(p) on success (writes are atomic per
+// call: either the whole entry commits or none of it is visible).
+func (fl *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("denova: negative offset")
+	}
+	fs := fl.fs
+	switch fs.cfg.Mode {
+	case ModeInline:
+		if err := fs.engine.WriteInline(fl.in, uint64(off), p); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	case ModeImmediate, ModeDelayed:
+		if _, err := fs.fs.Write(fl.in, uint64(off), p, nova.FlagNeeded); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	default:
+		if _, err := fs.fs.Write(fl.in, uint64(off), p, nova.FlagNone); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+}
+
+// ReadAt reads up to len(p) bytes at offset off, returning the number of
+// bytes read (short reads happen only at end of file).
+func (fl *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("denova: negative offset")
+	}
+	return fl.fs.fs.Read(fl.in, uint64(off), p)
+}
+
+// FileInfo describes a file, in the spirit of fs.FileInfo but with the
+// simulator's logical clock instead of wall time.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	Pages uint64 // physical pages currently referenced (before sharing)
+	Ctime uint64 // logical creation tick
+	Mtime uint64 // logical modification tick
+	IsDir bool
+}
+
+// Stat returns the file's metadata.
+func (fl *File) Stat() FileInfo {
+	ctime, mtime := fl.in.Times()
+	return FileInfo{
+		Name:  fl.name,
+		Size:  fl.Size(),
+		Pages: fl.in.PageCount(),
+		Ctime: ctime,
+		Mtime: mtime,
+		IsDir: fl.in.IsDir(),
+	}
+}
+
+// Truncate changes the file size. Shrinking releases the pages beyond the
+// new size (shared deduplicated pages survive through their reference
+// counts); growing extends the file with a hole that reads as zeros.
+func (fl *File) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("denova: negative size")
+	}
+	flag := uint8(nova.FlagNone)
+	if fl.fs.cfg.Mode == ModeImmediate || fl.fs.cfg.Mode == ModeDelayed {
+		flag = nova.FlagNeeded
+	}
+	return fl.fs.fs.Truncate(fl.in, uint64(size), flag)
+}

@@ -1,0 +1,3 @@
+module denova
+
+go 1.22

@@ -1,0 +1,189 @@
+package dedup
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"denova/internal/nova"
+)
+
+// DaemonConfig is the (n, m) tuning of §IV-B2: the daemon wakes every
+// Interval (n) and consumes at most Batch (m) DWQ nodes per wakeup. An
+// Interval of zero selects DENOVA-Immediate: the daemon blocks on the DWQ
+// doorbell and drains it as soon as anything is enqueued.
+type DaemonConfig struct {
+	Interval time.Duration // n: trigger period; 0 = immediate (aggressive polling)
+	Batch    int           // m: nodes per trigger; <= 0 = unlimited
+	// Scrub enables the periodic background FACT scrubber (§V-C2) on the
+	// daemon goroutine, every ScrubEvery wakeups.
+	ScrubEvery int
+}
+
+// Daemon is the single-threaded deduplication daemon (DD) of §IV-B2. Its
+// two services are (i) draining the DWQ through Engine.ProcessEntry and
+// (ii) reordering flagged FACT chains.
+type Daemon struct {
+	engine *Engine
+	cfg    DaemonConfig
+
+	stop  chan struct{}
+	drain chan chan struct{}
+	wg    sync.WaitGroup
+
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	busy     int32 // 1 while processing a batch
+
+	wakeups int64
+}
+
+// NewDaemon creates a daemon; call Start to launch it.
+func NewDaemon(e *Engine, cfg DaemonConfig) *Daemon {
+	d := &Daemon{engine: e, cfg: cfg, stop: make(chan struct{}), drain: make(chan chan struct{})}
+	d.idleCond = sync.NewCond(&d.idleMu)
+	return d
+}
+
+// Start launches the daemon goroutine.
+func (d *Daemon) Start() {
+	d.wg.Add(1)
+	go d.run()
+}
+
+// Stop terminates the daemon and waits for it to exit. Queued work remains
+// in the DWQ (it is persisted at unmount or rebuilt by recovery).
+func (d *Daemon) Stop() {
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	d.wg.Wait()
+}
+
+// Wakeups reports how many times the daemon has been triggered.
+func (d *Daemon) Wakeups() int64 { return atomic.LoadInt64(&d.wakeups) }
+
+func (d *Daemon) run() {
+	defer d.wg.Done()
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if d.cfg.Interval > 0 {
+		ticker = time.NewTicker(d.cfg.Interval)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	doorbell := d.engine.DWQ().Doorbell()
+	for {
+		if d.cfg.Interval == 0 {
+			select {
+			case <-d.stop:
+				return
+			case <-doorbell:
+				d.serviceOnce()
+			case done := <-d.drain:
+				d.engine.Drain()
+				close(done)
+			}
+		} else {
+			select {
+			case <-d.stop:
+				return
+			case <-tick:
+				d.serviceOnce()
+			case done := <-d.drain:
+				d.engine.Drain()
+				close(done)
+			}
+		}
+	}
+}
+
+// DrainSync asks the daemon goroutine to process the whole queue and waits
+// for it to finish. This is how Sync/unmount "give the DD plenty of time to
+// finish the entire deduplication process" (§V-B4) without a second
+// consumer racing the single-threaded DD.
+func (d *Daemon) DrainSync() {
+	done := make(chan struct{})
+	select {
+	case d.drain <- done:
+		<-done
+	case <-d.stop:
+		// Daemon already stopped; the caller owns the engine now.
+		d.engine.Drain()
+	}
+}
+
+// serviceOnce performs one daemon wakeup: a DWQ batch, any pending chain
+// reorders, and periodically a FACT scrub.
+func (d *Daemon) serviceOnce() {
+	atomic.StoreInt32(&d.busy, 1)
+	n := atomic.AddInt64(&d.wakeups, 1)
+	batch := d.cfg.Batch
+	if d.cfg.Interval == 0 {
+		batch = 0 // immediate mode drains everything available
+	}
+	for _, node := range d.engine.DWQ().DequeueBatch(batch) {
+		d.engine.ProcessEntry(node)
+	}
+	for _, prefix := range d.engine.Table().PendingReorders() {
+		d.engine.Table().ReorderChain(prefix)
+	}
+	if d.cfg.ScrubEvery > 0 && n%int64(d.cfg.ScrubEvery) == 0 {
+		d.engine.ScrubNow()
+	}
+	atomic.StoreInt32(&d.busy, 0)
+	d.idleMu.Lock()
+	d.idleCond.Broadcast()
+	d.idleMu.Unlock()
+}
+
+// Drain synchronously processes the queue until it is empty. Used by
+// unmount ("give the DD time to finish", §V-B4) and by tests. Safe to call
+// whether or not the daemon goroutine is running — but only after Stop has
+// returned when it was, since the engine is single-consumer.
+func (e *Engine) Drain() int {
+	n := 0
+	for {
+		nodes := e.dwq.DequeueBatch(0)
+		if len(nodes) == 0 {
+			return n
+		}
+		for _, node := range nodes {
+			e.ProcessEntry(node)
+			n++
+		}
+		for _, prefix := range e.table.PendingReorders() {
+			e.table.ReorderChain(prefix)
+		}
+	}
+}
+
+// ScrubNow runs one FACT scrubber pass (§V-C2): it snapshots the set of
+// data blocks referenced by any file's radix tree and invalidates FACT
+// entries (and reclaims data pages) that no file uses — the mechanism that
+// eventually repairs RFC over-increments left by crashes.
+//
+// It must run on the deduplication daemon's goroutine (or while the daemon
+// is stopped): reference counts only grow through dedup transactions, so
+// with the single dedup consumer quiesced, a block unreferenced at
+// snapshot time stays unreferenced.
+func (e *Engine) ScrubNow() (dropped int) {
+	inUse := make(map[uint64]bool)
+	e.fs.WalkFiles(func(in *nova.Inode) {
+		in.Lock()
+		in.WalkMappingsLocked(func(pg, block, entryOff uint64) bool {
+			inUse[block] = true
+			return true
+		})
+		in.Unlock()
+	})
+	_, blocks := e.table.Scrub(func(b uint64) bool { return inUse[b] })
+	for _, b := range blocks {
+		// The entry held the block hostage (RFC over-increment); with the
+		// entry gone the page returns to the free list.
+		e.fs.Allocator().Free(b, 1)
+	}
+	return len(blocks)
+}

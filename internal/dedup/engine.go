@@ -1,0 +1,206 @@
+package dedup
+
+import (
+	"sync/atomic"
+
+	"denova/internal/fact"
+	"denova/internal/nova"
+)
+
+// Engine executes deduplication transactions against a mounted NOVA file
+// system and its FACT. It implements nova.BlockReleaser, so reclamation of
+// data pages consults the FACT reference counts (§IV-D3), and provides the
+// write hook that feeds the DWQ.
+type Engine struct {
+	fs    *nova.FS
+	table *fact.Table
+	dwq   *DWQ
+
+	stats Stats
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	EntriesProcessed int64 // DWQ nodes fully processed
+	EntriesSkipped   int64 // stale nodes (file deleted, entry shadowed/reused)
+	PagesScanned     int64 // pages fingerprinted
+	PagesDuplicate   int64 // pages remapped onto canonical blocks
+	PagesUnique      int64 // pages that created FACT entries
+	PagesStale       int64 // pages skipped (shadowed before dedup ran)
+	PagesOwned       int64 // pages that already owned their FACT entry (re-processing)
+	BytesDeduped     int64 // duplicate bytes eliminated
+}
+
+func (e *Engine) snapshotStats() Stats {
+	return Stats{
+		EntriesProcessed: atomic.LoadInt64(&e.stats.EntriesProcessed),
+		EntriesSkipped:   atomic.LoadInt64(&e.stats.EntriesSkipped),
+		PagesScanned:     atomic.LoadInt64(&e.stats.PagesScanned),
+		PagesDuplicate:   atomic.LoadInt64(&e.stats.PagesDuplicate),
+		PagesUnique:      atomic.LoadInt64(&e.stats.PagesUnique),
+		PagesStale:       atomic.LoadInt64(&e.stats.PagesStale),
+		PagesOwned:       atomic.LoadInt64(&e.stats.PagesOwned),
+		BytesDeduped:     atomic.LoadInt64(&e.stats.BytesDeduped),
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.snapshotStats() }
+
+// NewEngine wires an engine to a mounted FS and FACT: it installs itself as
+// the FS block releaser and registers the DWQ-feeding write hook.
+func NewEngine(fs *nova.FS, table *fact.Table) *Engine {
+	e := &Engine{fs: fs, table: table, dwq: NewDWQ()}
+	fs.SetReleaser(e)
+	fs.SetWriteHook(func(in *nova.Inode, entryOff uint64) {
+		e.dwq.Enqueue(Node{Ino: in.Ino(), EntryOff: entryOff})
+	})
+	return e
+}
+
+// DWQ returns the engine's work queue.
+func (e *Engine) DWQ() *DWQ { return e.dwq }
+
+// Table returns the engine's FACT.
+func (e *Engine) Table() *fact.Table { return e.table }
+
+// FS returns the engine's file system.
+func (e *Engine) FS() *nova.FS { return e.fs }
+
+// Release implements nova.BlockReleaser: the DeNOVA reclaiming path. The
+// FACT entry is found through the delete pointer; the block is freed only
+// when its reference count reaches zero (§IV-C "delete pointer", §IV-D3).
+func (e *Engine) Release(block uint64) bool {
+	return e.table.DecRef(block).FreeBlock
+}
+
+// pageTxn records one page's position in an open transaction.
+type pageTxn struct {
+	pg        uint64
+	block     uint64 // block the write entry assigned to this page
+	factIdx   uint64
+	canonical uint64
+	dup       bool
+	aborted   bool
+}
+
+// ProcessEntry runs Algorithm 1 for one DWQ node. Returns false if the
+// node was stale (file deleted, entry shadowed, or flag already advanced).
+//
+// The transaction follows Fig. 6 exactly:
+//
+//	① the node was dequeued by the caller,
+//	② fingerprints are generated and looked up in the FACT,
+//	③ the UC of each touched FACT entry is raised (BeginTxn),
+//	④ a new write entry is appended per duplicate page, pointing at the
+//	   canonical block, with dedupe-flag in_process,
+//	⑤ the log tail is committed atomically; the target entry's flag moves
+//	   dedupe_needed → in_process,
+//	⑥ each UC is transferred to the RFC with one atomic store; flags move
+//	   to dedupe_complete and obsolete duplicate blocks are reclaimed.
+func (e *Engine) ProcessEntry(node Node) bool {
+	in, ok := e.fs.Inode(node.Ino)
+	if !ok {
+		atomic.AddInt64(&e.stats.EntriesSkipped, 1)
+		return false
+	}
+	in.Lock()
+	defer in.Unlock()
+
+	// Validate the node against the live log: the inode slot or the log
+	// page could have been reused since enqueue.
+	if nova.DedupeFlagOf(e.fs.Dev, node.EntryOff) != nova.FlagNeeded {
+		atomic.AddInt64(&e.stats.EntriesSkipped, 1)
+		return false
+	}
+	we, err := nova.ReadWriteEntry(e.fs.Dev, node.EntryOff)
+	if err != nil || we.Ino != node.Ino {
+		atomic.AddInt64(&e.stats.EntriesSkipped, 1)
+		return false
+	}
+
+	// ②③ Fingerprint each still-current page and open FACT transactions.
+	var txns []pageTxn
+	chunk := make([]byte, ChunkSize)
+	for i := uint64(0); i < uint64(we.NumPages); i++ {
+		pg := we.PgOff + i
+		block, entryOff, mapped := in.Mapping(pg)
+		if !mapped || entryOff != node.EntryOff {
+			atomic.AddInt64(&e.stats.PagesStale, 1)
+			continue // shadowed by a later foreground write
+		}
+		e.fs.ReadBlock(block, chunk)
+		fp := Strong(chunk)
+		atomic.AddInt64(&e.stats.PagesScanned, 1)
+		res, err := e.table.BeginTxn(fp, block)
+		if err != nil {
+			// FACT full: stop opening transactions; everything begun so
+			// far still commits below, the rest simply stays un-deduped.
+			break
+		}
+		if res.Dup && res.Canonical == block {
+			// Re-processed entry (Inconsistency Handling III): the page
+			// already owns its FACT entry. Drop the UC; nothing to do.
+			e.table.AbortTxn(res.Idx)
+			atomic.AddInt64(&e.stats.PagesOwned, 1)
+			continue
+		}
+		txns = append(txns, pageTxn{pg: pg, block: block, factIdx: res.Idx, canonical: res.Canonical, dup: res.Dup})
+	}
+
+	// ④ Append a remapping write entry per duplicate page.
+	size := in.SizeLocked()
+	type appended struct {
+		txn      pageTxn
+		entryOff uint64
+	}
+	var newEntries []appended
+	for i := range txns {
+		txn := &txns[i]
+		if !txn.dup {
+			continue
+		}
+		endOff := (txn.pg + 1) * nova.PageSize
+		if endOff > size {
+			endOff = size
+		}
+		off, err := e.fs.AppendDedupEntryLocked(in, txn.pg, txn.canonical, endOff, nova.FlagInProcess)
+		if err != nil {
+			// Log append failed (out of space): abandon this page's remap
+			// and drop its update count; the page simply stays un-deduped.
+			e.table.AbortTxn(txn.factIdx)
+			txn.aborted = true
+			continue
+		}
+		newEntries = append(newEntries, appended{txn: *txn, entryOff: off})
+	}
+
+	// ⑤ One atomic tail store publishes all appended entries; the target
+	// entry enters in_process.
+	e.fs.CommitLocked(in)
+	nova.SetDedupeFlag(e.fs.Dev, node.EntryOff, nova.FlagInProcess)
+
+	// ⑥ Transfer UC→RFC for every open transaction.
+	for _, txn := range txns {
+		if txn.aborted {
+			continue
+		}
+		e.table.CommitTxn(txn.factIdx)
+	}
+	// Remap duplicate pages onto their canonical blocks; the shadowed
+	// duplicate copies flow through Release → no FACT entry → freed.
+	for _, ae := range newEntries {
+		e.fs.RemapLocked(in, ae.txn.pg, ae.txn.canonical, ae.entryOff)
+		atomic.AddInt64(&e.stats.PagesDuplicate, 1)
+		atomic.AddInt64(&e.stats.BytesDeduped, ChunkSize)
+		nova.SetDedupeFlag(e.fs.Dev, ae.entryOff, nova.FlagComplete)
+	}
+	for _, txn := range txns {
+		if !txn.dup {
+			atomic.AddInt64(&e.stats.PagesUnique, 1)
+		}
+	}
+	nova.SetDedupeFlag(e.fs.Dev, node.EntryOff, nova.FlagComplete)
+	atomic.AddInt64(&e.stats.EntriesProcessed, 1)
+	return true
+}

@@ -1,0 +1,37 @@
+// Package dedup implements the DeNOVA deduplication engine of §IV: the
+// deduplication work queue (DWQ), the background deduplication daemon (DD)
+// with its immediate and delayed(n, m) trigger policies, the offline
+// deduplication transaction of Algorithm 1, the inline-deduplication
+// variant used as the paper's DENOVA-Inline baseline, the crash-recovery
+// handlers of §V-C, and the background FACT scrubber.
+package dedup
+
+import (
+	"crypto/sha1"
+	"hash/crc64"
+
+	"denova/internal/fact"
+)
+
+// ChunkSize is the deduplication granularity: DeNOVA chunks data into 4 KB
+// blocks, matching the file-system block size (§III).
+const ChunkSize = 4096
+
+// Strong computes the strong fingerprint: SHA-1 over the chunk (§IV-B2).
+// This is deliberately the real computation — its cost relative to the NVM
+// write latency is the heart of the paper's argument (T_f >> T_w, Eq. 1).
+func Strong(chunk []byte) fact.FP {
+	return fact.FP(sha1.Sum(chunk))
+}
+
+// weakTable is the CRC-64/ECMA table backing the weak fingerprint.
+var weakTable = crc64.MakeTable(crc64.ECMA)
+
+// Weak computes a cheap 64-bit fingerprint, standing in for the weak hash
+// of NV-Dedup's workload-adaptive scheme. It is used only by the Eq. (4)/(5)
+// model-validation benchmarks: the paper shows adaptive fingerprinting
+// cannot rescue inline dedup on Optane-class devices, so DeNOVA itself
+// never uses it.
+func Weak(chunk []byte) uint64 {
+	return crc64.Checksum(chunk, weakTable)
+}

@@ -1,0 +1,214 @@
+package fact
+
+import (
+	"denova/internal/pmem"
+)
+
+// Mount-time recovery of the FACT (§V-C). The caller orchestrates the
+// sequence, because the dedup engine's in-process resume must land between
+// chain repair and UC discarding:
+//
+//	t := fact.Attach(dev, cfg)
+//	t.RecoverStructure()        // chains, free list, delete pointers
+//	<dedup engine resumes in-process entries: CommitTxnByBlock(...)>
+//	t.ZeroAllUC()               // discard counts of failed transactions
+//	t.Scrub(inUse)              // drop entries whose block was reclaimed
+//
+// On a clean mount only Attach+RecoverStructure run (they also rebuild the
+// DRAM IAA free list, which is never persisted).
+
+// Attach opens an existing FACT region without zeroing it. The IAA free
+// list starts empty; RecoverStructure rebuilds it.
+func Attach(dev *pmem.Device, cfg Config) *Table {
+	t := New(dev, cfg)
+	t.iaaFree = t.iaaFree[:0]
+	return t
+}
+
+// RecoverStats summarizes what recovery repaired.
+type RecoverStats struct {
+	ReordersResumed int // chains with a raised commit flag
+	PrevsFixed      int // prev pointers rebuilt from next pointers
+	OrphansCleared  int // unreachable IAA slots holding half-inserted entries
+	GhostsUnlinked  int // chain members with zero counts (half-removed)
+	DelPtrsFixed    int // delete pointers reinstalled or cleared
+	UCsDiscarded    int // update counts zeroed by ZeroAllUC
+	EntriesDropped  int // entries removed because RFC became 0 or block freed
+}
+
+// RecoverStructure walks every chain, completing any interrupted reorder
+// (commit flag protocol), rebuilding prev pointers, unlinking half-removed
+// entries, validating delete pointers, and rebuilding the IAA free list.
+// It must run before the table serves lookups.
+func (t *Table) RecoverStructure() RecoverStats {
+	var rs RecoverStats
+	reachable := make(map[uint64]bool)
+
+	for p := uint64(0); int64(p) < t.daa; p++ {
+		if t.recoverReorder(p) {
+			rs.ReordersResumed++
+		}
+		// Walk the chain, fixing prevs and unlinking ghosts. Cycle guard:
+		// a corrupted region (e.g. never initialized) must not hang
+		// recovery — the chain is truncated at the first repeated entry.
+		prev := p
+		cur := t.next(p)
+		visited := map[uint64]bool{}
+		for cur != None {
+			if int64(cur) >= t.total || visited[cur] {
+				t.setNext(prev, None)
+				break
+			}
+			visited[cur] = true
+			nxt := t.next(cur)
+			if !t.occupied(cur) {
+				// Half-inserted or half-removed IAA entry: unlink.
+				t.setNext(prev, nxt)
+				if nxt != None {
+					t.setPrev(nxt, prev)
+				}
+				t.clearSlot(cur)
+				rs.GhostsUnlinked++
+				cur = nxt
+				continue
+			}
+			if t.prev(cur) != prev {
+				t.setPrev(cur, prev)
+				rs.PrevsFixed++
+			}
+			reachable[cur] = true
+			prev = cur
+			cur = nxt
+		}
+	}
+
+	// IAA slots: unreachable ones go to the free list; occupied orphans
+	// (crash between the counts persist and the chain link) are cleared.
+	t.iamu.Lock()
+	t.iaaFree = t.iaaFree[:0]
+	t.iamu.Unlock()
+	for i := t.daa; i < t.total; i++ {
+		idx := uint64(i)
+		if reachable[idx] {
+			continue
+		}
+		if t.occupied(idx) {
+			t.dev.PersistStore64(t.entryOff(idx)+feCounts, 0)
+			t.clearSlot(idx)
+			rs.OrphansCleared++
+		}
+		t.freeIAA(idx)
+	}
+
+	rs.DelPtrsFixed = t.fixDeletePointers()
+	return rs
+}
+
+// clearSlot wipes an entry's identity (not its delete-pointer field, which
+// belongs to the slot's block index).
+func (t *Table) clearSlot(idx uint64) {
+	off := t.entryOff(idx)
+	var zero [FPSize]byte
+	t.dev.Store64(off+feCounts, 0)
+	t.dev.Write(off+feFP, zero[:])
+	t.dev.Store64(off+feBlock, 0)
+	t.dev.Store64(off+fePrev, None)
+	t.dev.Store64(off+feNext, None)
+	t.dev.Persist(off, EntrySize)
+}
+
+// fixDeletePointers makes the delete-pointer index exactly mirror the live
+// entries: every occupied entry's block maps to it; every other slot maps
+// to None.
+func (t *Table) fixDeletePointers() int {
+	fixed := 0
+	want := make(map[uint64]uint64) // relBlock -> entry idx
+	for i := int64(0); i < t.total; i++ {
+		idx := uint64(i)
+		if !t.occupied(idx) {
+			continue
+		}
+		want[t.relBlock(t.block(idx))] = idx
+	}
+	for r := int64(0); r < t.numData; r++ {
+		slotOff := t.entryOff(uint64(r)) + feDelPtr
+		cur := t.dev.Load64(slotOff)
+		w, ok := want[uint64(r)]
+		if !ok {
+			w = None
+		}
+		if cur != w {
+			t.dev.PersistStore64(slotOff, w)
+			fixed++
+		}
+	}
+	return fixed
+}
+
+// ZeroAllUC discards the update counts of transactions that never resumed
+// (Inconsistency Handling II: "the UC is not applied to the RFC for these
+// entries, but discarded. These UCs are set to 0 at system reboot").
+// Entries left with RFC==0 are removed entirely.
+func (t *Table) ZeroAllUC() RecoverStats {
+	var rs RecoverStats
+	for i := int64(0); i < t.total; i++ {
+		idx := uint64(i)
+		rfc, uc := t.counts(idx)
+		if uc == 0 {
+			continue
+		}
+		rs.UCsDiscarded++
+		if rfc == 0 {
+			t.dropEntry(idx)
+			rs.EntriesDropped++
+			continue
+		}
+		t.dev.PersistStore64(t.entryOff(idx)+feCounts, uint64(rfc))
+	}
+	return rs
+}
+
+// Scrub removes every entry whose block the file system no longer uses
+// (§V-C2: "DENOVA checks each FACT entry's data chunk. If the data chunk
+// has been reclaimed by the free list in recovery, it decreases the RFC of
+// the corresponding FACT entry, i.e., invalidates it."). It returns the
+// blocks whose entries were dropped so the caller can reconcile free-space
+// accounting.
+func (t *Table) Scrub(inUse func(block uint64) bool) (RecoverStats, []uint64) {
+	var rs RecoverStats
+	var dropped []uint64
+	for i := int64(0); i < t.total; i++ {
+		idx := uint64(i)
+		if !t.occupied(idx) {
+			continue
+		}
+		if _, uc := t.counts(idx); uc > 0 {
+			// An open transaction is about to reference this block; the
+			// next scrub pass will catch it if the transaction dies.
+			continue
+		}
+		b := t.block(idx)
+		if inUse(b) {
+			continue
+		}
+		t.dropEntry(idx)
+		rs.EntriesDropped++
+		dropped = append(dropped, b)
+	}
+	return rs, dropped
+}
+
+// dropEntry force-removes an entry regardless of its counts, taking the
+// chain lock.
+func (t *Table) dropEntry(idx uint64) {
+	fp := t.fp(idx)
+	prefix := t.PrefixOf(fp)
+	mu := t.lockFor(prefix)
+	mu.Lock()
+	defer mu.Unlock()
+	if !t.occupied(idx) {
+		return
+	}
+	block := t.block(idx)
+	t.removeLocked(prefix, idx, block)
+}

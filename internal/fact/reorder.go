@@ -1,0 +1,183 @@
+package fact
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// §IV-E: a data chunk with a high RFC is likely to be written again, so its
+// FACT entry should sit near the front of its IAA chain. The deduplication
+// daemon reorders chains whose lookups walk too deep. Reordering rewrites
+// prev/next fields in place on PM, so it follows the commit-flag protocol
+// of Fig. 7, keyed on the chain head's prev field:
+//
+//	idle                    head.prev == None
+//	phase 1 (prevs rewrite) head.prev == head's own index
+//	phase 2 (nexts rewrite) head.prev == last node's index
+//
+// Recovery inspects the flag: in phase 1 the next fields still describe the
+// old (consistent) order, so the prev fields are rebuilt from them; in
+// phase 2 the prev fields fully describe the new order, so the next fields
+// are rebuilt from them, completing the reordering.
+
+// reorderQueue collects chains flagged during lookups for the daemon.
+type reorderQueue struct {
+	mu      sync.Mutex
+	pending map[uint64]struct{}
+}
+
+func (q *reorderQueue) add(prefix uint64) {
+	q.mu.Lock()
+	if q.pending == nil {
+		q.pending = make(map[uint64]struct{})
+	}
+	q.pending[prefix] = struct{}{}
+	q.mu.Unlock()
+}
+
+func (q *reorderQueue) drain() []uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]uint64, 0, len(q.pending))
+	for p := range q.pending {
+		out = append(out, p)
+	}
+	q.pending = nil
+	return out
+}
+
+// maybeMarkReorder flags a chain for reordering when the lookup that just
+// completed walked deeper than the threshold to reach a hot entry.
+func (t *Table) maybeMarkReorder(prefix, idx uint64, walk int) {
+	if !t.ReorderEnabled || walk <= t.DepthThreshold {
+		return
+	}
+	if t.RFC(idx)+t.UC(idx) < t.RFCThreshold {
+		return
+	}
+	t.reorders.add(prefix)
+}
+
+// PendingReorders drains the set of chains flagged for reordering. The
+// deduplication daemon calls this in its service loop.
+func (t *Table) PendingReorders() []uint64 { return t.reorders.drain() }
+
+// ReorderChain sorts the IAA part of prefix's chain in descending RFC
+// order using the crash-consistent protocol above. It returns true if a
+// reorder was performed (chains shorter than three nodes are left alone:
+// the head is position-fixed, so one overflow node has nothing to swap
+// with).
+func (t *Table) ReorderChain(prefix uint64) bool {
+	mu := t.lockFor(prefix)
+	mu.Lock()
+	defer mu.Unlock()
+
+	// Collect the chain: head + IAA nodes in current order.
+	var nodes []uint64
+	for cur := t.next(prefix); cur != None; cur = t.next(cur) {
+		nodes = append(nodes, cur)
+	}
+	if len(nodes) < 2 {
+		return false
+	}
+	// Desired order: descending RFC (stable, so equal-RFC entries keep
+	// their relative position).
+	sorted := make([]uint64, len(nodes))
+	copy(sorted, nodes)
+	sort.SliceStable(sorted, func(i, j int) bool { return t.RFC(sorted[i]) > t.RFC(sorted[j]) })
+	same := true
+	for i := range nodes {
+		if nodes[i] != sorted[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return false
+	}
+
+	t.reorderCommit(prefix, sorted)
+	atomic.AddInt64(&t.stats.Reorders, 1)
+	return true
+}
+
+// reorderCommit performs the Fig. 7 protocol for the chain head prefix and
+// the desired IAA node order. Chain lock held.
+func (t *Table) reorderCommit(prefix uint64, order []uint64) {
+	// Step 1: raise the commit flag (phase 1).
+	t.setPrev(prefix, prefix)
+	// Step 2: rewrite all prev fields to the new order.
+	t.setPrevsForOrder(prefix, order)
+	// Step 3: advance the flag to phase 2 (value = last node's index).
+	t.setPrev(prefix, order[len(order)-1])
+	// Step 4: rewrite all next fields to the new order.
+	t.setNextsForOrder(prefix, order)
+	// Step 5: drop the flag — reordering committed.
+	t.setPrev(prefix, None)
+}
+
+func (t *Table) setPrevsForOrder(prefix uint64, order []uint64) {
+	for i, idx := range order {
+		if i == 0 {
+			t.setPrev(idx, prefix)
+		} else {
+			t.setPrev(idx, order[i-1])
+		}
+	}
+}
+
+func (t *Table) setNextsForOrder(prefix uint64, order []uint64) {
+	t.setNext(prefix, order[0])
+	for i, idx := range order {
+		if i == len(order)-1 {
+			t.setNext(idx, None)
+		} else {
+			t.setNext(idx, order[i+1])
+		}
+	}
+}
+
+// recoverReorder repairs the chain at prefix after a crash, according to
+// the commit flag. Returns true if a repair was needed.
+func (t *Table) recoverReorder(prefix uint64) bool {
+	flag := t.prev(prefix)
+	if flag == None {
+		return false
+	}
+	if flag == prefix {
+		// Phase 1 crash: next fields hold the old order; rebuild prevs.
+		prev := prefix
+		for cur := t.next(prefix); cur != None; cur = t.next(cur) {
+			t.setPrev(cur, prev)
+			prev = cur
+		}
+		t.setPrev(prefix, None)
+		return true
+	}
+	// Phase 2 crash: prev fields hold the new order; walk backwards from
+	// the last node (the flag value) and rebuild the next fields.
+	cur := flag
+	next := None
+	for cur != prefix {
+		t.setNext(cur, next)
+		next = cur
+		cur = t.prev(cur)
+	}
+	t.setNext(prefix, next)
+	t.setPrev(prefix, None)
+	return true
+}
+
+// ChainOf returns the chain (head + IAA nodes) for a prefix, for tests and
+// inspection.
+func (t *Table) ChainOf(prefix uint64) []uint64 {
+	mu := t.lockFor(prefix)
+	mu.Lock()
+	defer mu.Unlock()
+	chain := []uint64{prefix}
+	for cur := t.next(prefix); cur != None; cur = t.next(cur) {
+		chain = append(chain, cur)
+	}
+	return chain
+}

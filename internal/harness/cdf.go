@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"denova"
+	"denova/internal/workload"
+)
+
+// CDF collects duration samples and answers quantile queries (Fig. 10).
+type CDF struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (c *CDF) Add(d time.Duration) {
+	c.mu.Lock()
+	c.samples = append(c.samples, d)
+	c.sorted = false
+	c.mu.Unlock()
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.samples)
+}
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Slice(c.samples, func(i, j int) bool { return c.samples[i] < c.samples[j] })
+		c.sorted = true
+	}
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) of the samples.
+func (c *CDF) Quantile(p float64) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sort()
+	idx := int(p*float64(len(c.samples)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.samples) {
+		idx = len(c.samples) - 1
+	}
+	return c.samples[idx]
+}
+
+// Series returns (x, y) pairs suitable for plotting the CDF: for each
+// sample in ascending order, the cumulative fraction.
+func (c *CDF) Series(points int) (xs []time.Duration, ys []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.samples) == 0 || points <= 0 {
+		return nil, nil
+	}
+	c.sort()
+	for i := 0; i < points; i++ {
+		f := float64(i+1) / float64(points)
+		idx := int(f*float64(len(c.samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		xs = append(xs, c.samples[idx])
+		ys = append(ys, f)
+	}
+	return xs, ys
+}
+
+// LingerResult is one Fig. 10 series: the DWQ residence-time distribution
+// for a daemon configuration.
+type LingerResult struct {
+	Model string
+	CDF   *CDF
+}
+
+// RunLinger writes the workload against a DENOVA-Delayed(n, m) (or
+// Immediate) instance while recording every DWQ node's enqueue→dequeue
+// residence time (§V-B2).
+func RunLinger(cfg FSConfig, spec workload.Spec, opts WriteOptions) (LingerResult, error) {
+	opts.fill(spec)
+	dev := denova.NewDevice(opts.DevSize, opts.Profile)
+	fs, err := denova.Mkfs(dev, cfg.denovaConfig())
+	if err != nil {
+		return LingerResult{}, err
+	}
+	defer fs.Unmount()
+	cdf := &CDF{}
+	fs.SetLingerHook(cdf.Add)
+	gen := workload.NewGenerator(spec)
+	for i := 0; i < spec.NumFiles; i++ {
+		opStart := time.Now()
+		f, err := fs.Create(gen.FileName(i))
+		if err != nil {
+			return LingerResult{}, err
+		}
+		if _, err := f.WriteAt(gen.FileData(i), 0); err != nil {
+			return LingerResult{}, err
+		}
+		if opts.ThinkTime {
+			workload.Think(time.Since(opStart))
+		}
+	}
+	fs.Sync()
+	return LingerResult{Model: cfg.Label(), CDF: cdf}, nil
+}

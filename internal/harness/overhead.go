@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"text/tabwriter"
+	"time"
+
+	"denova"
+	"denova/internal/dedup"
+	"denova/internal/workload"
+)
+
+// Metadata-overhead analysis reproducing the §III cost comparison: DeNOVA
+// spends NVM (FACT ≈ 3.2 % of capacity, twice NV-Dedup's 1.6 %) to spend
+// zero DRAM on index structures, where NV-Dedup pins ≈ 0.6 % of NVM
+// capacity in DRAM (24 B per 4 KB block) — and DRAM is the scarcer, more
+// expensive resource. DeNOVA's only deduplication DRAM is the transient
+// DWQ, whose footprint the (n, m) policy bounds.
+
+// OverheadReport quantifies both sides for a concrete device + workload.
+type OverheadReport struct {
+	Model       string
+	DeviceBytes int64
+	DataBytes   int64
+
+	// DeNOVA, measured.
+	FactBytes    int64   // persistent FACT region
+	FactPct      float64 // of device capacity
+	DWQPeakNodes int     // largest queue during the run
+	DWQPeakBytes int64   // its DRAM cost
+	DWQPeakPct   float64 // of device capacity (the paper's comparison axis)
+	IndexDRAM    int64   // DRAM bytes used for dedup *index* structures: 0
+	// NV-Dedup, computed with the paper's §III formulas for this device.
+	NVDedupNVM  int64 // fine-grained metadata table: 1.6 % of capacity
+	NVDedupDRAM int64 // DRAM index: 24 B per 4 KB block ≈ 0.6 % of capacity
+}
+
+// MeasureOverhead runs the workload under the given daemon policy and
+// reports the measured DWQ high-water mark next to the analytic NV-Dedup
+// costs (Section III).
+func MeasureOverhead(cfg FSConfig, spec workload.Spec, opts WriteOptions) (OverheadReport, error) {
+	opts.KeepFS = true
+	_, fs, err := RunWrite(cfg, spec, opts)
+	if err != nil {
+		return OverheadReport{}, err
+	}
+	defer fs.Unmount()
+	devBytes, factBytes, dataBytes := fs.Geometry()
+	peak := fs.QueuePeak()
+	blocks := devBytes / 4096
+	rep := OverheadReport{
+		Model:        cfg.Label(),
+		DeviceBytes:  devBytes,
+		DataBytes:    dataBytes,
+		FactBytes:    factBytes,
+		FactPct:      float64(factBytes) / float64(devBytes) * 100,
+		DWQPeakNodes: peak,
+		DWQPeakBytes: int64(peak) * dedup.NodeBytes,
+		DWQPeakPct:   float64(peak) * dedup.NodeBytes / float64(devBytes) * 100,
+		IndexDRAM:    0,
+		NVDedupNVM:   devBytes * 16 / 1000, // 1.6 %
+		NVDedupDRAM:  blocks * 24,          // 24 B per block ≈ 0.6 %
+	}
+	return rep, nil
+}
+
+// FormatOverheads renders the §III comparison for several daemon policies.
+func FormatOverheads(rows []OverheadReport) string {
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "§III — deduplication metadata cost (DeNOVA measured vs NV-Dedup computed)")
+	w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Model\tFACT (NVM)\tFACT %\tDWQ peak (DRAM)\tIndex DRAM")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.2f%%\t%d nodes / %s\t%d B\n",
+			r.Model, fmtBytes(r.FactBytes), r.FactPct, r.DWQPeakNodes, fmtBytes(r.DWQPeakBytes), r.IndexDRAM)
+	}
+	w.Flush()
+	if len(rows) > 0 {
+		r := rows[0]
+		fmt.Fprintf(&buf, "NV-Dedup on the same %s device (paper §III formulas):\n", fmtBytes(r.DeviceBytes))
+		fmt.Fprintf(&buf, "  metadata table on NVM: %s (1.6%%)\n", fmtBytes(r.NVDedupNVM))
+		fmt.Fprintf(&buf, "  index in DRAM:         %s (24 B / 4 KB block ≈ 0.6%% of NVM capacity)\n", fmtBytes(r.NVDedupDRAM))
+		fmt.Fprintf(&buf, "DeNOVA trades ~2x the (cheap) NVM metadata for zero (expensive) DRAM index.\n")
+	}
+	return buf.String()
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
+// StandardOverheadPolicies are the daemon configurations whose DWQ
+// footprints §V-B2 contrasts.
+func StandardOverheadPolicies() []FSConfig {
+	return []FSConfig{
+		{Mode: denova.ModeImmediate},
+		{Mode: denova.ModeDelayed, N: 50 * time.Millisecond, M: 400},
+		{Mode: denova.ModeDelayed, N: 250 * time.Millisecond, M: 2000},
+	}
+}

@@ -1,0 +1,243 @@
+package nova
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Allocator is the per-CPU free page allocator (§II-A: "log pages and data
+// pages are allocated by a per-CPU memory page allocator"). The block space
+// is partitioned into per-shard regions; each shard keeps a sorted extent
+// list so contiguous multi-page runs (which NOVA write entries require) can
+// be carved and coalesced. Allocation prefers the caller's shard and steals
+// from neighbours when it runs dry, preserving NOVA's contention structure:
+// disjoint writers touch disjoint shards.
+type Allocator struct {
+	base    uint64 // first allocatable block
+	nblocks int64
+	shards  []allocShard
+	free    int64 // atomic total free blocks
+}
+
+type allocShard struct {
+	mu   sync.Mutex
+	exts []extent // sorted by start, non-adjacent
+	// singles is a LIFO of single freed blocks awaiting coalescing. The
+	// overwrite path frees and reallocates one page per shadowed page;
+	// pushing/popping here is O(1), where inserting into the sorted extent
+	// list costs a memmove per free. Singles are folded into the extent
+	// list when a multi-page allocation needs them or the stack grows
+	// large; overlap (double free) is detected at that point.
+	singles []uint64
+}
+
+// coalesceThreshold bounds the singles stack before a fold-in.
+const coalesceThreshold = 8192
+
+type extent struct {
+	start uint64
+	n     int64
+}
+
+// ErrNoSpace is returned when no shard can satisfy a contiguous request.
+var ErrNoSpace = fmt.Errorf("nova: out of space")
+
+// NewAllocator creates an allocator over blocks [base, base+nblocks) with
+// the given shard count, all blocks free.
+func NewAllocator(base uint64, nblocks int64, nshards int) *Allocator {
+	if nshards < 1 {
+		nshards = 1
+	}
+	if int64(nshards) > nblocks {
+		nshards = int(nblocks)
+	}
+	a := &Allocator{base: base, nblocks: nblocks, shards: make([]allocShard, nshards), free: nblocks}
+	per := nblocks / int64(nshards)
+	for i := range a.shards {
+		start := base + uint64(int64(i)*per)
+		n := per
+		if i == len(a.shards)-1 {
+			n = nblocks - int64(len(a.shards)-1)*per
+		}
+		a.shards[i].exts = []extent{{start, n}}
+	}
+	return a
+}
+
+// NewAllocatorFromBitmap rebuilds an allocator during recovery: used[i]
+// true means block base+i is occupied.
+func NewAllocatorFromBitmap(base uint64, nblocks int64, nshards int, used []bool) *Allocator {
+	a := NewAllocator(base, nblocks, nshards)
+	for i := range a.shards {
+		a.shards[i].exts = a.shards[i].exts[:0]
+	}
+	a.free = 0
+	per := nblocks / int64(len(a.shards))
+	var cur extent
+	flush := func() {
+		if cur.n == 0 {
+			return
+		}
+		si := int64(cur.start-base) / per
+		if si >= int64(len(a.shards)) {
+			si = int64(len(a.shards)) - 1
+		}
+		sh := &a.shards[si]
+		sh.exts = append(sh.exts, cur)
+		a.free += cur.n
+		cur = extent{}
+	}
+	for i := int64(0); i < nblocks; i++ {
+		if used[i] {
+			flush()
+			continue
+		}
+		b := base + uint64(i)
+		// Break extents at shard boundaries so each stays in one shard.
+		if cur.n > 0 && (int64(cur.start-base)/per != int64(b-base)/per) {
+			flush()
+		}
+		if cur.n == 0 {
+			cur = extent{b, 1}
+		} else {
+			cur.n++
+		}
+	}
+	flush()
+	return a
+}
+
+// Shards returns the shard count (callers spread AllocHints across it).
+func (a *Allocator) Shards() int { return len(a.shards) }
+
+// FreeBlocks returns the number of free blocks.
+func (a *Allocator) FreeBlocks() int64 { return atomic.LoadInt64(&a.free) }
+
+// Alloc returns the first block of a contiguous run of n blocks, preferring
+// the shard selected by hint.
+func (a *Allocator) Alloc(hint int, n int64) (uint64, error) {
+	if n <= 0 {
+		panic("nova: Alloc of non-positive count")
+	}
+	ns := len(a.shards)
+	for i := 0; i < ns; i++ {
+		sh := &a.shards[(hint+i)%ns]
+		if b, ok := sh.take(n); ok {
+			atomic.AddInt64(&a.free, -n)
+			return b, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+func (s *allocShard) take(n int64) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n == 1 && len(s.singles) > 0 {
+		b := s.singles[len(s.singles)-1]
+		s.singles = s.singles[:len(s.singles)-1]
+		return b, true
+	}
+	for attempt := 0; ; attempt++ {
+		for i := range s.exts {
+			if s.exts[i].n >= n {
+				b := s.exts[i].start
+				s.exts[i].start += uint64(n)
+				s.exts[i].n -= n
+				if s.exts[i].n == 0 {
+					s.exts = append(s.exts[:i], s.exts[i+1:]...)
+				}
+				return b, true
+			}
+		}
+		if attempt > 0 || len(s.singles) == 0 {
+			return 0, false
+		}
+		s.coalesceLocked() // fold singles in; they may form a long run
+	}
+}
+
+// coalesceLocked merges the singles stack into the extent list, checking
+// for overlaps (deferred double-free detection).
+func (s *allocShard) coalesceLocked() {
+	if len(s.singles) == 0 {
+		return
+	}
+	all := make([]extent, 0, len(s.exts)+len(s.singles))
+	all = append(all, s.exts...)
+	for _, b := range s.singles {
+		all = append(all, extent{b, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].start < all[j].start })
+	merged := all[:1]
+	for _, e := range all[1:] {
+		last := &merged[len(merged)-1]
+		switch {
+		case e.start < last.start+uint64(last.n):
+			panic(fmt.Sprintf("nova: double free detected coalescing block run [%d,%d)", e.start, e.start+uint64(e.n)))
+		case e.start == last.start+uint64(last.n):
+			last.n += e.n
+		default:
+			merged = append(merged, e)
+		}
+	}
+	s.exts = append([]extent(nil), merged...)
+	s.singles = s.singles[:0]
+}
+
+// Free returns the contiguous run [start, start+n) to the free pool.
+func (a *Allocator) Free(start uint64, n int64) {
+	if n <= 0 {
+		panic("nova: Free of non-positive count")
+	}
+	if start < a.base || uint64(int64(start)+n) > a.base+uint64(a.nblocks) {
+		panic(fmt.Sprintf("nova: Free([%d,%d)) outside allocatable range [%d,%d)", start, int64(start)+n, a.base, a.base+uint64(a.nblocks)))
+	}
+	per := a.nblocks / int64(len(a.shards))
+	si := int64(start-a.base) / per
+	if si >= int64(len(a.shards)) {
+		si = int64(len(a.shards)) - 1
+	}
+	sh := &a.shards[si]
+	sh.mu.Lock()
+	if n == 1 {
+		sh.singles = append(sh.singles, start)
+		if len(sh.singles) >= coalesceThreshold {
+			sh.coalesceLocked()
+		}
+	} else {
+		sh.insert(extent{start, n})
+	}
+	sh.mu.Unlock()
+	atomic.AddInt64(&a.free, n)
+}
+
+// insert adds e into the sorted extent list, coalescing with neighbours.
+// Panics on overlap (double free).
+func (s *allocShard) insert(e extent) {
+	i := sort.Search(len(s.exts), func(i int) bool { return s.exts[i].start >= e.start })
+	// Check overlap with predecessor and successor.
+	if i > 0 {
+		p := s.exts[i-1]
+		if p.start+uint64(p.n) > e.start {
+			panic(fmt.Sprintf("nova: double free of block run [%d,%d)", e.start, e.start+uint64(e.n)))
+		}
+	}
+	if i < len(s.exts) && e.start+uint64(e.n) > s.exts[i].start {
+		panic(fmt.Sprintf("nova: double free of block run [%d,%d)", e.start, e.start+uint64(e.n)))
+	}
+	s.exts = append(s.exts, extent{})
+	copy(s.exts[i+1:], s.exts[i:])
+	s.exts[i] = e
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(s.exts) && s.exts[i].start+uint64(s.exts[i].n) == s.exts[i+1].start {
+		s.exts[i].n += s.exts[i+1].n
+		s.exts = append(s.exts[:i+1], s.exts[i+2:]...)
+	}
+	if i > 0 && s.exts[i-1].start+uint64(s.exts[i-1].n) == s.exts[i].start {
+		s.exts[i-1].n += s.exts[i].n
+		s.exts = append(s.exts[:i], s.exts[i+1:]...)
+	}
+}

@@ -1,0 +1,94 @@
+package nova
+
+// This file is the surface the DeNOVA deduplication engine drives. The
+// engine runs Algorithm 1 of the paper: it appends write entries that remap
+// duplicate file pages onto canonical blocks, commits them with the inode
+// log tail, updates the radix tree, and reclaims the now-obsolete copies.
+// All *Locked methods require the inode's write lock (the dedup daemon
+// holds it for the whole transaction, §IV-E).
+
+import (
+	"sync/atomic"
+
+	"denova/internal/rtree"
+)
+
+// ReadBlock copies the contents of a data page into buf (at most one page).
+func (fs *FS) ReadBlock(block uint64, buf []byte) {
+	n := len(buf)
+	if n > PageSize {
+		n = PageSize
+	}
+	fs.Dev.Read(int64(block)*PageSize, buf[:n])
+}
+
+// AppendDedupEntryLocked appends — without committing — a one-page write
+// entry pointing file page pg of in at the canonical block (step ④ of
+// Fig. 6). endOff caps the entry's size contribution so recovery does not
+// inflate the file size past its true end.
+func (fs *FS) AppendDedupEntryLocked(in *Inode, pg, block, endOff uint64, flag uint8) (uint64, error) {
+	entry := WriteEntry{
+		DedupeFlag: flag,
+		NumPages:   1,
+		PgOff:      pg,
+		Block:      block,
+		EndOff:     endOff,
+		Ino:        in.ino,
+		Mtime:      in.mtime, // dedup is content-neutral; mtime unchanged
+		Seq:        fs.nextSeq(),
+	}
+	return fs.appendEntryLocked(in, encodeWriteEntry(entry))
+}
+
+// CommitLocked publishes all entries appended since the last commit with a
+// single atomic persistent store of the inode log tail (step ⑤ of Fig. 6).
+func (fs *FS) CommitLocked(in *Inode) { fs.commitTailLocked(in) }
+
+// RemapLocked points file page pg at (block, entryOff), maintaining log
+// live counts and releasing the shadowed block through the releaser. Used
+// by the dedup engine after its log commit to retire duplicate copies.
+func (fs *FS) RemapLocked(in *Inode, pg, block, entryOff uint64) {
+	in.addLiveLocked(entryOff, 1)
+	fs.replaceMappingLocked(in, pg, block, entryOff)
+}
+
+// SizeLocked returns the file size; the caller holds the inode lock.
+func (in *Inode) SizeLocked() uint64 { return in.size }
+
+// BumpSizeLocked grows the file size to at least end and stamps the mtime;
+// used by the inline-dedup write path, which appends its own entries.
+func (fs *FS) BumpSizeLocked(in *Inode, end uint64) {
+	if end > in.size {
+		in.size = end
+	}
+	in.mtime = fs.tick()
+	atomic.AddInt64(&fs.writes, 1)
+}
+
+// FreeDataBlock releases a single data block through the releaser. The
+// dedup engine calls it for blocks it has verified are unreachable.
+func (fs *FS) FreeDataBlock(block uint64) bool { return fs.freeData(block) }
+
+// WalkFiles calls fn for every regular file inode. Used by the FACT
+// scrubber to build its in-use bitmap. fn must not mutate the filesystem.
+func (fs *FS) WalkFiles(fn func(in *Inode)) {
+	fs.imu.Lock()
+	files := make([]*Inode, 0, len(fs.inodes))
+	for _, in := range fs.inodes {
+		if !in.dir {
+			files = append(files, in)
+		}
+	}
+	fs.imu.Unlock()
+	for _, in := range files {
+		fn(in)
+	}
+}
+
+// WalkMappingsLocked iterates the file's current page mappings in page
+// order; the caller holds at least the read lock.
+func (in *Inode) WalkMappingsLocked(fn func(pg, block, entryOff uint64) bool) {
+	in.tree.Walk(func(pg uint64, v rtree.Value) bool {
+		return fn(pg, v.Block, v.Entry)
+	})
+}

@@ -1,0 +1,174 @@
+package nova
+
+import (
+	"fmt"
+
+	"denova/internal/layout"
+	"denova/internal/pmem"
+)
+
+// Log entry types.
+const (
+	EntryInvalid      = 0
+	EntryWrite        = 1 // file data write (Fig. 1: [filepgoff, numpages])
+	EntryDentryAdd    = 2 // directory log: name -> inode
+	EntryDentryRemove = 3 // directory log: unlink name
+)
+
+// Dedupe-flag states of a write entry (§IV-D, Fig. 5).
+const (
+	// FlagNone marks writes on file systems without deduplication.
+	FlagNone = 0
+	// FlagNeeded marks a freshly appended write entry awaiting dedup.
+	FlagNeeded = 1
+	// FlagInProcess marks entries participating in an ongoing (or crashed)
+	// deduplication transaction whose log-tail commit already happened.
+	FlagInProcess = 2
+	// FlagComplete marks entries whose deduplication finished.
+	FlagComplete = 3
+)
+
+// Write-entry field offsets within its 64 B record.
+const (
+	weType   = 0  // u8
+	weFlag   = 1  // u8 dedupe-flag, updated in place
+	weNum    = 4  // u32 number of contiguous data pages
+	wePgOff  = 8  // u64 first file page offset
+	weBlock  = 16 // u64 first data block (absolute page number)
+	weEndOff = 24 // u64 file byte offset covered end (for size recovery)
+	weIno    = 32 // u64
+	weMtime  = 40 // u64
+	weSeq    = 48 // u64
+	weCsum   = 56 // u32 crc32c of bytes [0,56) with the dedupe-flag zeroed
+)
+
+// WriteEntry is the decoded form of a file write log entry.
+type WriteEntry struct {
+	DedupeFlag uint8
+	NumPages   uint32
+	PgOff      uint64 // first file page offset
+	Block      uint64 // first data block
+	EndOff     uint64 // file size high-water mark implied by this entry
+	Ino        uint64
+	Mtime      uint64
+	Seq        uint64
+}
+
+func encodeWriteEntry(e WriteEntry) layout.Record {
+	rec := make(layout.Record, EntrySize)
+	rec.PutU8(weType, EntryWrite)
+	rec.PutU32(weNum, e.NumPages)
+	rec.PutU64(wePgOff, e.PgOff)
+	rec.PutU64(weBlock, e.Block)
+	rec.PutU64(weEndOff, e.EndOff)
+	rec.PutU64(weIno, e.Ino)
+	rec.PutU64(weMtime, e.Mtime)
+	rec.PutU64(weSeq, e.Seq)
+	rec.PutU32(weCsum, layout.Checksum(rec[:weCsum])) // flag is still zero here
+	rec.PutU8(weFlag, e.DedupeFlag)
+	return rec
+}
+
+func decodeWriteEntry(rec layout.Record) (WriteEntry, error) {
+	cp := make(layout.Record, weCsum)
+	copy(cp, rec[:weCsum])
+	cp.PutU8(weFlag, 0)
+	if got, want := rec.U32(weCsum), layout.Checksum(cp); got != want {
+		return WriteEntry{}, fmt.Errorf("nova: write entry checksum mismatch")
+	}
+	return WriteEntry{
+		DedupeFlag: rec.U8(weFlag),
+		NumPages:   rec.U32(weNum),
+		PgOff:      rec.U64(wePgOff),
+		Block:      rec.U64(weBlock),
+		EndOff:     rec.U64(weEndOff),
+		Ino:        rec.U64(weIno),
+		Mtime:      rec.U64(weMtime),
+		Seq:        rec.U64(weSeq),
+	}, nil
+}
+
+// ReadWriteEntry decodes the write entry at device offset off.
+func ReadWriteEntry(dev *pmem.Device, off uint64) (WriteEntry, error) {
+	rec := make(layout.Record, EntrySize)
+	dev.Read(int64(off), rec)
+	if rec.U8(weType) != EntryWrite {
+		return WriteEntry{}, fmt.Errorf("nova: entry at %#x is type %d, not a write entry", off, rec.U8(weType))
+	}
+	return decodeWriteEntry(rec)
+}
+
+// SetDedupeFlag updates the dedupe-flag of the write entry at off in place
+// with an atomic single-byte store followed by a flush (§IV-D: "updated in
+// place with an atomic write operation").
+func SetDedupeFlag(dev *pmem.Device, off uint64, flag uint8) {
+	dev.Write(int64(off)+weFlag, []byte{flag})
+	dev.Persist(int64(off)+weFlag, 1)
+}
+
+// DedupeFlagOf reads just the dedupe-flag byte of the entry at off.
+func DedupeFlagOf(dev *pmem.Device, off uint64) uint8 {
+	var b [1]byte
+	dev.Read(int64(off)+weFlag, b[:])
+	return b[0]
+}
+
+// Dentry field offsets.
+const (
+	deType    = 0 // u8
+	deNameLen = 1 // u8
+	deCsum    = 4 // u32 over the record with this field zeroed
+	deIno     = 8 // u64
+	deName    = 16
+)
+
+// Dentry is the decoded form of a directory log entry.
+type Dentry struct {
+	Remove bool
+	Ino    uint64
+	Name   string
+}
+
+func encodeDentry(d Dentry) (layout.Record, error) {
+	if len(d.Name) == 0 || len(d.Name) > MaxNameLen {
+		return nil, fmt.Errorf("nova: invalid name length %d (max %d)", len(d.Name), MaxNameLen)
+	}
+	rec := make(layout.Record, EntrySize)
+	t := uint8(EntryDentryAdd)
+	if d.Remove {
+		t = EntryDentryRemove
+	}
+	rec.PutU8(deType, t)
+	rec.PutU8(deNameLen, uint8(len(d.Name)))
+	rec.PutU64(deIno, d.Ino)
+	copy(rec.Bytes(deName, MaxNameLen), d.Name)
+	rec.PutU32(deCsum, layout.Checksum(maskCsum(rec, deCsum)))
+	return rec, nil
+}
+
+func decodeDentry(rec layout.Record) (Dentry, error) {
+	t := rec.U8(deType)
+	if t != EntryDentryAdd && t != EntryDentryRemove {
+		return Dentry{}, fmt.Errorf("nova: entry type %d is not a dentry", t)
+	}
+	if got, want := rec.U32(deCsum), layout.Checksum(maskCsum(rec, deCsum)); got != want {
+		return Dentry{}, fmt.Errorf("nova: dentry checksum mismatch")
+	}
+	n := int(rec.U8(deNameLen))
+	if n == 0 || n > MaxNameLen {
+		return Dentry{}, fmt.Errorf("nova: dentry name length %d out of range", n)
+	}
+	return Dentry{
+		Remove: t == EntryDentryRemove,
+		Ino:    rec.U64(deIno),
+		Name:   string(rec.Bytes(deName, n)),
+	}, nil
+}
+
+// maskCsum returns a copy of rec with the 4-byte checksum field zeroed.
+func maskCsum(rec layout.Record, at int) []byte {
+	cp := make(layout.Record, len(rec))
+	copy(cp, rec)
+	cp.PutU32(at, 0)
+	return cp
+}

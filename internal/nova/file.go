@@ -1,0 +1,199 @@
+package nova
+
+import (
+	"denova/internal/rtree"
+	"fmt"
+	"sync/atomic"
+)
+
+// Write implements the five-step CoW write flow of Fig. 1:
+//
+//	① allocate contiguous data pages, merging partial head/tail pages,
+//	② fill them (non-temporal stores) with user data and carried-over bytes,
+//	③ append a [filepgoff, numpages] write entry and commit the log tail
+//	   with an atomic 64-bit persistent store,
+//	④ update the DRAM radix tree, and
+//	⑤ reclaim the shadowed data pages (through the block releaser).
+//
+// flag is the initial dedupe-flag of the entry (FlagNone on plain NOVA,
+// FlagNeeded when deduplication is enabled). It returns the device offset
+// of the committed write entry.
+func (fs *FS) Write(in *Inode, off uint64, data []byte, flag uint8) (uint64, error) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return fs.writeLocked(in, off, data, flag)
+}
+
+func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint64, error) {
+	if in.dir {
+		return 0, fmt.Errorf("nova: inode %d is a directory", in.ino)
+	}
+	pg0 := off / PageSize
+	pgEnd := (off + uint64(len(data)) - 1) / PageSize
+	np := int64(pgEnd - pg0 + 1)
+
+	// ① Allocate. NOVA write entries describe one contiguous block run.
+	block, err := fs.alloc.Alloc(int(in.ino), np)
+	if err != nil {
+		return 0, err
+	}
+
+	// ② Fill the pages. Fully page-aligned writes stream the caller's
+	// buffer straight to the device; partial first/last pages are assembled
+	// with the carried-over bytes from their current mapping (CoW).
+	headPad := off % PageSize
+	tailEnd := (off + uint64(len(data))) % PageSize
+	if headPad == 0 && tailEnd == 0 {
+		fs.Dev.WriteNT(int64(block)*PageSize, data)
+	} else {
+		buf := make([]byte, np*PageSize)
+		if headPad != 0 || (np == 1 && tailEnd != 0) {
+			fs.readPageInto(in, pg0, buf[:PageSize])
+		}
+		if tailEnd != 0 && np > 1 {
+			fs.readPageInto(in, pgEnd, buf[(np-1)*PageSize:])
+		}
+		copy(buf[headPad:], data)
+		fs.Dev.WriteNT(int64(block)*PageSize, buf)
+	}
+
+	// ③ Append the write entry and commit the tail atomically.
+	end := off + uint64(len(data))
+	entry := WriteEntry{
+		DedupeFlag: flag,
+		NumPages:   uint32(np),
+		PgOff:      pg0,
+		Block:      block,
+		EndOff:     end,
+		Ino:        in.ino,
+		Mtime:      fs.tick(),
+		Seq:        fs.nextSeq(),
+	}
+	entryOff, err := fs.appendEntryLocked(in, encodeWriteEntry(entry))
+	if err != nil {
+		fs.alloc.Free(block, np)
+		return 0, err
+	}
+	fs.commitTailLocked(in)
+
+	// ④⑤ Radix update and reclamation of shadowed pages.
+	fs.installMappingLocked(in, pg0, block, np, entryOff)
+
+	if end > in.size {
+		in.size = end
+	}
+	in.mtime = entry.Mtime
+	atomic.AddInt64(&fs.writes, 1)
+	if fs.onWrite != nil {
+		fs.onWrite(in, entryOff)
+	}
+	if in.shouldThoroughGC() {
+		fs.thoroughGCLocked(in)
+	}
+	return entryOff, nil
+}
+
+// installMappingLocked points file pages [pg0, pg0+np) at blocks
+// [block, block+np), maintaining log-page live counts and reclaiming the
+// blocks that become unreachable.
+func (fs *FS) installMappingLocked(in *Inode, pg0, block uint64, np int64, entryOff uint64) {
+	in.addLiveLocked(entryOff, int(np))
+	for i := int64(0); i < np; i++ {
+		fs.replaceMappingLocked(in, pg0+uint64(i), block+uint64(i), entryOff)
+	}
+}
+
+// replaceMappingLocked installs a single page mapping, dropping the live
+// reference of the shadowed entry and reclaiming the shadowed block. The
+// caller must already have accounted the new entry's live reference.
+func (fs *FS) replaceMappingLocked(in *Inode, pg, newBlock, entryOff uint64) {
+	prev, replaced := in.tree.Insert(pg, rtree.Value{Block: newBlock, Entry: entryOff})
+	if !replaced {
+		in.pages++
+		return
+	}
+	fs.dropLiveLocked(in, prev.Entry, 1)
+	if prev.Block != newBlock {
+		fs.freeData(prev.Block)
+	}
+}
+
+// readPageInto copies the current contents of file page pg into dst (one
+// page), zero-filling when the page is unmapped. Caller holds the lock.
+func (fs *FS) readPageInto(in *Inode, pg uint64, dst []byte) {
+	if v, ok := in.tree.Lookup(pg); ok {
+		fs.Dev.Read(int64(v.Block)*PageSize, dst[:PageSize])
+		return
+	}
+	for i := range dst[:PageSize] {
+		dst[i] = 0
+	}
+}
+
+// Read copies up to len(buf) bytes starting at off into buf, returning the
+// number of bytes read. Reads past the file size return n < len(buf); reads
+// of holes return zeros. Concurrent readers are admitted (read lock); the
+// read path touches neither FACT nor the DWQ (§V-B4).
+func (fs *FS) Read(in *Inode, off uint64, buf []byte) (int, error) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.dir {
+		return 0, fmt.Errorf("nova: inode %d is a directory", in.ino)
+	}
+	if off >= in.size {
+		return 0, nil
+	}
+	n := uint64(len(buf))
+	if off+n > in.size {
+		n = in.size - off
+	}
+	atomic.AddInt64(&fs.reads, 1)
+	read := uint64(0)
+	page := make([]byte, PageSize)
+	for read < n {
+		pg := (off + read) / PageSize
+		po := (off + read) % PageSize
+		chunk := PageSize - po
+		if chunk > n-read {
+			chunk = n - read
+		}
+		if v, ok := in.tree.Lookup(pg); ok {
+			if po == 0 && chunk == PageSize {
+				fs.Dev.Read(int64(v.Block)*PageSize, buf[read:read+PageSize])
+			} else {
+				fs.Dev.Read(int64(v.Block)*PageSize, page)
+				copy(buf[read:read+chunk], page[po:po+chunk])
+			}
+		} else {
+			for i := read; i < read+chunk; i++ {
+				buf[i] = 0
+			}
+		}
+		read += chunk
+	}
+	return int(n), nil
+}
+
+// deleteInodeLocked tears a file down: every referenced data block is
+// released (the releaser decides whether shared blocks survive), the log
+// chain is freed, and the persistent inode is invalidated with a single
+// atomic store. Caller holds the inode lock.
+func (fs *FS) deleteInodeLocked(in *Inode) {
+	in.tree.Walk(func(_ uint64, v rtree.Value) bool {
+		fs.freeData(v.Block)
+		return true
+	})
+	in.tree.Clear()
+	for _, pg := range in.logPages {
+		fs.alloc.Free(pg, 1)
+	}
+	in.logPages = nil
+	in.live = map[uint64]int{}
+	in.pages = 0
+	in.size = 0
+	// Invalidate: clearing the flags word removes the inode atomically.
+	fs.Dev.PersistStore64(fs.inodeOff(in.ino)+inFlags, 0)
+}

@@ -1,0 +1,195 @@
+package nova
+
+import (
+	"denova/internal/layout"
+	"fmt"
+
+	"denova/internal/rtree"
+)
+
+// Fsck performs a deep consistency check of the mounted file system's
+// DRAM state against its persistent state. It is the NOVA-side counterpart
+// of fact.CheckInvariants, used by crash tests and the denovactl fsck
+// command. Checks:
+//
+//	N1  every inode's log chain is acyclic, magic-tagged, and its committed
+//	    tail lies within the chain,
+//	N2  replaying each log reproduces exactly the in-memory radix tree,
+//	N3  per-log-page live counts equal the number of radix references into
+//	    that page,
+//	N4  no data block is referenced by two different file pages unless a
+//	    FACT-style releaser is installed (i.e. sharing implies dedup),
+//	N5  free-space accounting: every allocatable block is either reachable
+//	    (log page or mapped data page), free in the allocator, or — with
+//	    dedup — held by a FACT entry awaiting scrub.
+//
+// blockHeld, when non-nil, reports whether an unreachable block is
+// legitimately held by the deduplication layer (FACT entry with RFC > 0).
+func (fs *FS) Fsck(blockHeld func(block uint64) bool) error {
+	fs.imu.Lock()
+	inodes := make([]*Inode, 0, len(fs.inodes))
+	for _, in := range fs.inodes {
+		inodes = append(inodes, in)
+	}
+	fs.imu.Unlock()
+
+	reachable := make(map[uint64]bool)
+	owners := make(map[uint64]int) // data block -> reference count
+
+	for _, in := range inodes {
+		in.mu.RLock()
+		err := fs.fsckInodeLocked(in, reachable, owners)
+		in.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+
+	// N4: sharing implies dedup.
+	if fs.releaser == nil {
+		for b, n := range owners {
+			if n > 1 {
+				return fmt.Errorf("nova: fsck: block %d referenced %d times without a releaser", b, n)
+			}
+		}
+	}
+
+	// N5: full accounting of the allocatable region. Walk the allocator's
+	// free extents indirectly: a block must be reachable, free, or held.
+	free := make(map[uint64]bool)
+	for i := range fs.alloc.shards {
+		sh := &fs.alloc.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.exts {
+			for b := e.start; b < e.start+uint64(e.n); b++ {
+				if free[b] {
+					sh.mu.Unlock()
+					return fmt.Errorf("nova: fsck: block %d appears in two free extents", b)
+				}
+				free[b] = true
+			}
+		}
+		for _, b := range sh.singles {
+			if free[b] {
+				sh.mu.Unlock()
+				return fmt.Errorf("nova: fsck: block %d freed twice (extent + single)", b)
+			}
+			free[b] = true
+		}
+		sh.mu.Unlock()
+	}
+	for b := fs.Geo.DataStartBlock; int64(b-fs.Geo.DataStartBlock) < fs.Geo.NumDataBlocks; b++ {
+		r, f := reachable[b], free[b]
+		switch {
+		case r && f:
+			return fmt.Errorf("nova: fsck: block %d is both reachable and free", b)
+		case !r && !f:
+			if blockHeld == nil || !blockHeld(b) {
+				return fmt.Errorf("nova: fsck: block %d leaked (neither reachable, free, nor held)", b)
+			}
+		}
+	}
+	return nil
+}
+
+func (fs *FS) fsckInodeLocked(in *Inode, reachable map[uint64]bool, owners map[uint64]int) error {
+	// N1: chain integrity.
+	seen := make(map[uint64]bool)
+	chain := make([]uint64, 0, len(in.logPages))
+	for pg := in.logHead; pg != 0; {
+		if seen[pg] {
+			return fmt.Errorf("nova: fsck: inode %d log chain cycles at page %d", in.ino, pg)
+		}
+		seen[pg] = true
+		chain = append(chain, pg)
+		reachable[pg] = true
+		next, err := fs.logPageNext(pg)
+		if err != nil {
+			return fmt.Errorf("nova: fsck: inode %d: %w", in.ino, err)
+		}
+		pg = next
+	}
+	if len(chain) != len(in.logPages) {
+		return fmt.Errorf("nova: fsck: inode %d DRAM chain has %d pages, PM chain %d", in.ino, len(in.logPages), len(chain))
+	}
+	for i := range chain {
+		if chain[i] != in.logPages[i] {
+			return fmt.Errorf("nova: fsck: inode %d chain diverges at position %d", in.ino, i)
+		}
+	}
+	if !seen[pageOfOff(in.logTail)] && slotIndex(in.logTail) != EntriesPerLogPage {
+		return fmt.Errorf("nova: fsck: inode %d tail %#x outside its chain", in.ino, in.logTail)
+	}
+
+	if in.dir {
+		return nil
+	}
+
+	// N2: replay and compare with the radix tree.
+	var replay rtree.Tree
+	live := make(map[uint64]int)
+	err := fs.walkLog(in.logHead, in.logTail, func(off uint64, rec layout.Record) bool {
+		if rec.U8(0) == EntryInvalid {
+			return true // zeroed padding slot
+		}
+		if rec.U8(0) == EntryTruncate {
+			size, _, err := decodeTruncateEntry(rec)
+			if err != nil {
+				return true
+			}
+			firstGone := (size + PageSize - 1) / PageSize
+			var drop []uint64
+			replay.Walk(func(pg uint64, _ rtree.Value) bool {
+				if pg >= firstGone {
+					drop = append(drop, pg)
+				}
+				return true
+			})
+			for _, pg := range drop {
+				v, _ := replay.Delete(pg)
+				live[pageOfOff(v.Entry)]--
+			}
+			return true
+		}
+		we, err := decodeWriteEntry(rec)
+		if err != nil {
+			return true // unreadable slot before tail would have failed mount
+		}
+		for i := uint64(0); i < uint64(we.NumPages); i++ {
+			prev, replaced := replay.Insert(we.PgOff+i, rtree.Value{Block: we.Block + i, Entry: off})
+			live[pageOfOff(off)]++
+			if replaced {
+				live[pageOfOff(prev.Entry)]--
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if replay.Len() != in.tree.Len() {
+		return fmt.Errorf("nova: fsck: inode %d radix has %d mappings, log replay %d", in.ino, in.tree.Len(), replay.Len())
+	}
+	mismatch := error(nil)
+	in.tree.Walk(func(pg uint64, v rtree.Value) bool {
+		rv, ok := replay.Lookup(pg)
+		if !ok || rv != v {
+			mismatch = fmt.Errorf("nova: fsck: inode %d page %d: radix %+v vs replay %+v (ok=%v)", in.ino, pg, v, rv, ok)
+			return false
+		}
+		reachable[v.Block] = true
+		owners[v.Block]++
+		return true
+	})
+	if mismatch != nil {
+		return mismatch
+	}
+
+	// N3: live counts match.
+	for pg, n := range in.live {
+		if live[pg] != n {
+			return fmt.Errorf("nova: fsck: inode %d log page %d live count %d, replay says %d", in.ino, pg, n, live[pg])
+		}
+	}
+	return nil
+}

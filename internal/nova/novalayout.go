@@ -1,0 +1,212 @@
+// Package nova implements a log-structured file system for persistent
+// memory modelled on NOVA (Xu & Swanson, FAST '16), the substrate the DeNOVA
+// paper extends. It provides per-inode logs kept as linked lists of 4 KB log
+// pages, copy-on-write data pages, an atomic log-tail commit protocol,
+// per-CPU free lists, a DRAM radix tree per file, fast log garbage
+// collection and a recovery scan — everything §II-A of the paper describes,
+// plus the hooks DeNOVA grafts on (dedupe-flags in write entries, a block
+// releaser consulted before data pages are reclaimed, and a post-write
+// hook used to enqueue deduplication work).
+package nova
+
+import (
+	"fmt"
+
+	"denova/internal/layout"
+	"denova/internal/pmem"
+)
+
+const (
+	// PageSize is the file-system block size (NOVA default, §IV-C).
+	PageSize = pmem.PageSize
+	// EntrySize is the size of every log entry; one CPU cache line.
+	EntrySize = 64
+	// EntriesPerLogPage is the number of entry slots per log page; the last
+	// slot is the page tail holding the next-page link.
+	EntriesPerLogPage = PageSize/EntrySize - 1
+	// InodeSize is the on-PM inode record size.
+	InodeSize = 128
+	// RootIno is the inode number of the root directory.
+	RootIno = 1
+	// MaxNameLen is the longest file name a dentry can hold.
+	MaxNameLen = 48
+
+	superMagic   = 0x44454E4F56414653 // "DENOVAFS"
+	superVersion = 1
+	logPageMagic = 0x4C4F475041474531 // "LOGPAGE1"
+)
+
+// Geometry is the on-device region map, computed at mkfs time and persisted
+// in the superblock. All offsets are device byte offsets; blocks are device
+// page numbers (offset / PageSize).
+type Geometry struct {
+	DevSize         int64
+	MaxInodes       int64
+	InodeTableOff   int64
+	InodeTablePages int64
+	// FactOff is the byte offset of the FACT region reserved for the
+	// deduplication metadata table; nova itself never interprets it.
+	FactOff int64
+	// FactPrefixBits is n from §IV-C: the FACT has 2^n DAA entries and 2^n
+	// IAA entries of 64 B each.
+	FactPrefixBits int
+	FactPages      int64
+	// DWQSaveOff is the region where the deduplication work queue is
+	// persisted across clean unmounts.
+	DWQSaveOff   int64
+	DWQSavePages int64
+	// DataOff is the byte offset of the first allocatable page; data and
+	// log pages both come from this region.
+	DataOff        int64
+	DataStartBlock uint64
+	NumDataBlocks  int64
+}
+
+// FactEntries returns the total number of FACT entry slots (DAA + IAA).
+func (g Geometry) FactEntries() int64 { return 2 << uint(g.FactPrefixBits) }
+
+// ComputeGeometry lays out a device of devSize bytes following the sizing
+// rule of §IV-C: n = ceil(log2(data blocks)), DAA and IAA each hold 2^n
+// 64-byte entries (≈3.2 % of capacity), and the DWQ save area holds one
+// 16-byte record per data block (worst case: every block queued).
+func ComputeGeometry(devSize, maxInodes int64) (Geometry, error) {
+	if maxInodes < 2 {
+		return Geometry{}, fmt.Errorf("nova: need at least 2 inodes, got %d", maxInodes)
+	}
+	totalPages := devSize / PageSize
+	itPages := layout.DivCeil(maxInodes*InodeSize, PageSize)
+	remaining := totalPages - 1 - itPages // minus superblock page
+	if remaining < 8 {
+		return Geometry{}, fmt.Errorf("nova: device too small (%d bytes)", devSize)
+	}
+	// Pick the smallest n whose DAA covers the data blocks that remain
+	// after carving out the FACT and DWQ regions themselves.
+	chosen := -1
+	var dataBlocks, factPages, dwqPages int64
+	for n := layout.Log2Ceil(remaining); n >= 3; n-- {
+		fp := layout.DivCeil((int64(2)<<uint(n))*64, PageSize)
+		db := remaining - fp
+		dp := layout.DivCeil(db*16, PageSize)
+		db -= dp
+		if db < 4 {
+			continue
+		}
+		if int64(1)<<uint(n) >= db {
+			chosen, dataBlocks, factPages, dwqPages = n, db, fp, dp
+		} else {
+			break // n too small; previous candidate (if any) stands
+		}
+	}
+	if chosen < 0 {
+		return Geometry{}, fmt.Errorf("nova: cannot fit FACT on device of %d bytes", devSize)
+	}
+	g := Geometry{
+		DevSize:         devSize,
+		MaxInodes:       maxInodes,
+		InodeTableOff:   PageSize,
+		InodeTablePages: itPages,
+		FactPrefixBits:  chosen,
+		FactPages:       factPages,
+		NumDataBlocks:   dataBlocks,
+	}
+	g.FactOff = g.InodeTableOff + itPages*PageSize
+	g.DWQSaveOff = g.FactOff + factPages*PageSize
+	g.DWQSavePages = dwqPages
+	g.DataOff = g.DWQSaveOff + dwqPages*PageSize
+	g.DataStartBlock = uint64(g.DataOff / PageSize)
+	return g, nil
+}
+
+// Superblock field byte offsets within page 0.
+const (
+	sbMagic       = 0
+	sbVersion     = 8
+	sbDevSize     = 16
+	sbMaxInodes   = 24
+	sbInodeOff    = 32
+	sbFactOff     = 40
+	sbPrefixBits  = 48
+	sbDWQOff      = 56
+	sbDWQPages    = 64
+	sbDataOff     = 72
+	sbNumData     = 80
+	sbMountEpoch  = 88
+	sbCleanFlag   = 96  // 1 = cleanly unmounted; updated alone, outside csum
+	sbDWQOverflow = 104 // 1 = DWQ save area overflowed at unmount
+	sbCsum        = 112 // crc32c over bytes [0,112) with clean/overflow zeroed? no: over [0,96)
+	sbSize        = 128
+)
+
+// writeSuperblock persists the geometry into page 0. The clean flag and
+// overflow flag are written separately (they change at mount/unmount).
+func writeSuperblock(dev *pmem.Device, g Geometry, epoch uint64) {
+	rec := make(layout.Record, sbSize)
+	rec.PutU64(sbMagic, superMagic)
+	rec.PutU64(sbVersion, superVersion)
+	rec.PutU64(sbDevSize, uint64(g.DevSize))
+	rec.PutU64(sbMaxInodes, uint64(g.MaxInodes))
+	rec.PutU64(sbInodeOff, uint64(g.InodeTableOff))
+	rec.PutU64(sbFactOff, uint64(g.FactOff))
+	rec.PutU64(sbPrefixBits, uint64(g.FactPrefixBits))
+	rec.PutU64(sbDWQOff, uint64(g.DWQSaveOff))
+	rec.PutU64(sbDWQPages, uint64(g.DWQSavePages))
+	rec.PutU64(sbDataOff, uint64(g.DataOff))
+	rec.PutU64(sbNumData, uint64(g.NumDataBlocks))
+	rec.PutU64(sbMountEpoch, epoch)
+	rec.PutU32(sbCsum, layout.Checksum(rec[:sbMountEpoch]))
+	dev.Write(0, rec)
+	dev.Persist(0, sbSize)
+}
+
+// readSuperblock validates and decodes page 0.
+func readSuperblock(dev *pmem.Device) (Geometry, uint64, error) {
+	rec := make(layout.Record, sbSize)
+	dev.Read(0, rec)
+	if rec.U64(sbMagic) != superMagic {
+		return Geometry{}, 0, fmt.Errorf("nova: bad superblock magic %#x", rec.U64(sbMagic))
+	}
+	if v := rec.U64(sbVersion); v != superVersion {
+		return Geometry{}, 0, fmt.Errorf("nova: unsupported version %d", v)
+	}
+	if got, want := rec.U32(sbCsum), layout.Checksum(rec[:sbMountEpoch]); got != want {
+		return Geometry{}, 0, fmt.Errorf("nova: superblock checksum mismatch %#x != %#x", got, want)
+	}
+	g := Geometry{
+		DevSize:        int64(rec.U64(sbDevSize)),
+		MaxInodes:      int64(rec.U64(sbMaxInodes)),
+		InodeTableOff:  int64(rec.U64(sbInodeOff)),
+		FactOff:        int64(rec.U64(sbFactOff)),
+		FactPrefixBits: int(rec.U64(sbPrefixBits)),
+		DWQSaveOff:     int64(rec.U64(sbDWQOff)),
+		DWQSavePages:   int64(rec.U64(sbDWQPages)),
+		DataOff:        int64(rec.U64(sbDataOff)),
+		NumDataBlocks:  int64(rec.U64(sbNumData)),
+	}
+	g.InodeTablePages = (g.FactOff - g.InodeTableOff) / PageSize
+	g.FactPages = (g.DWQSaveOff - g.FactOff) / PageSize
+	g.DataStartBlock = uint64(g.DataOff / PageSize)
+	return g, rec.U64(sbMountEpoch), nil
+}
+
+// CleanFlag reads the superblock clean-unmount flag.
+func CleanFlag(dev *pmem.Device) bool { return dev.Load64(sbCleanFlag) == 1 }
+
+func setCleanFlag(dev *pmem.Device, clean bool) {
+	v := uint64(0)
+	if clean {
+		v = 1
+	}
+	dev.PersistStore64(sbCleanFlag, v)
+}
+
+// DWQOverflowFlag reads the flag indicating the DWQ save area overflowed.
+func DWQOverflowFlag(dev *pmem.Device) bool { return dev.Load64(sbDWQOverflow) == 1 }
+
+// SetDWQOverflowFlag records whether the queue snapshot was truncated.
+func SetDWQOverflowFlag(dev *pmem.Device, v bool) {
+	x := uint64(0)
+	if v {
+		x = 1
+	}
+	dev.PersistStore64(sbDWQOverflow, x)
+}

@@ -1,0 +1,328 @@
+package nova
+
+import (
+	"fmt"
+	"sort"
+
+	"denova/internal/layout"
+	"denova/internal/pmem"
+	"denova/internal/rtree"
+)
+
+// EntryRef identifies a committed write entry for deduplication purposes.
+type EntryRef struct {
+	Ino uint64
+	Off uint64 // device byte offset of the entry
+	Seq uint64 // global append sequence (restores DWQ FIFO order)
+}
+
+// ScanResult is everything the mount-time log scan learns that the
+// deduplication layer needs (§V-C): the entries still awaiting
+// deduplication, the entries caught mid-transaction, and the block usage
+// bitmap FACT recovery scrubs against.
+type ScanResult struct {
+	// Clean is the pre-mount state of the superblock clean flag.
+	Clean bool
+	// DWQOverflow indicates the clean-unmount DWQ snapshot was truncated,
+	// so the dedupe-flag scan must be used even after a clean mount.
+	DWQOverflow bool
+	// NeedDedup lists write entries with dedupe-flag "dedupe_needed" in
+	// global append order (Inconsistency Handling I).
+	NeedDedup []EntryRef
+	// InProcess lists write entries with dedupe-flag "in_process", i.e.
+	// deduplication transactions whose log commit happened but whose FACT
+	// bookkeeping may be unfinished (Inconsistency Handling II/III).
+	InProcess []EntryRef
+	// UsedBlocks[i] reports whether block Geo.DataStartBlock+i is occupied
+	// (log page of a live inode, or data page reachable from a radix tree).
+	UsedBlocks []bool
+	// Orphans lists inode numbers that were valid on PM but unreachable
+	// from the namespace (interrupted create or delete); they have already
+	// been reclaimed by the time Mount returns.
+	Orphans []uint64
+}
+
+// Mount opens a previously formatted device, rebuilding all DRAM state
+// (radix trees, namespace, free lists, live-entry counts) by scanning the
+// per-inode logs, exactly as NOVA recovery does. It works identically for
+// clean and unclean shutdowns; the returned ScanResult tells the caller
+// which dedup recovery steps still apply.
+func Mount(dev *pmem.Device, opts ...Option) (*FS, *ScanResult, error) {
+	g, _, err := readSuperblock(dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &ScanResult{
+		Clean:       CleanFlag(dev),
+		DWQOverflow: DWQOverflowFlag(dev),
+		UsedBlocks:  make([]bool, g.NumDataBlocks),
+	}
+	setCleanFlag(dev, false) // we are live now
+
+	fs := &FS{
+		Dev:    dev,
+		Geo:    g,
+		inodes: make(map[uint64]*Inode),
+		inUse:  make([]bool, g.MaxInodes),
+	}
+	for _, o := range opts {
+		o(fs)
+	}
+	fs.inUse[0] = true
+
+	// Pass 1: load every valid inode record.
+	var files []*Inode
+	for ino := uint64(1); ino < uint64(g.MaxInodes); ino++ {
+		di, err := fs.readInode(ino)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !di.Valid {
+			continue
+		}
+		in := &Inode{
+			ino:     ino,
+			dir:     di.Dir,
+			gen:     di.Gen,
+			ctime:   di.Ctime,
+			logHead: di.LogHead,
+			logTail: di.LogTail,
+			live:    make(map[uint64]int),
+		}
+		if di.Dir {
+			in.names = make(map[string]uint64)
+		}
+		fs.inodes[ino] = in
+		fs.inUse[ino] = true
+		if ino == RootIno {
+			if !di.Dir {
+				return nil, nil, fmt.Errorf("nova: root inode is not a directory")
+			}
+			fs.root = in
+		} else if !di.Dir {
+			files = append(files, in)
+		}
+	}
+	if fs.root == nil {
+		return nil, nil, fmt.Errorf("nova: no root directory; device not formatted?")
+	}
+
+	// Pass 2+3: BFS from the root through the directory tree, replaying
+	// each directory's dentry log at visit time, collecting (a) the set of
+	// reachable inodes and (b) dangling dentries (names whose inode record
+	// is gone — a crash mid-delete); unreachable inodes are orphans (a
+	// crash between inode creation and dentry commit, or mid-teardown).
+	type repair struct {
+		dir  *Inode
+		name string
+		ino  uint64
+	}
+	var repairs []repair
+	reachable := map[uint64]bool{RootIno: true}
+	queue := []*Inode{fs.root}
+	for len(queue) > 0 {
+		dir := queue[0]
+		queue = queue[1:]
+		if err := fs.replayDir(dir); err != nil {
+			return nil, nil, err
+		}
+		for name, ino := range dir.names {
+			child, ok := fs.inodes[ino]
+			if !ok || reachable[ino] {
+				// Dangling (inode gone) or duplicate reference (corrupt):
+				// prune the dentry; the log repair runs after the
+				// allocator is rebuilt.
+				delete(dir.names, name)
+				repairs = append(repairs, repair{dir, name, ino})
+				continue
+			}
+			reachable[ino] = true
+			if child.dir {
+				queue = append(queue, child)
+			}
+		}
+	}
+	kept := files[:0]
+	for _, in := range files {
+		if reachable[in.ino] {
+			kept = append(kept, in)
+		}
+	}
+	files = kept
+	for ino, in := range fs.inodes {
+		if reachable[ino] {
+			continue
+		}
+		res.Orphans = append(res.Orphans, ino)
+		fs.Dev.PersistStore64(fs.inodeOff(in.ino)+inFlags, 0)
+		delete(fs.inodes, ino)
+		fs.inUse[ino] = false
+		// Pages of orphans are simply not marked used; the rebuilt free
+		// list reclaims them, finishing the interrupted create/delete.
+	}
+
+	// Pass 4: replay each file log: rebuild radix trees, live counts,
+	// sizes, and collect dedupe-flagged entries.
+	var maxSeq, maxTime uint64
+	for _, in := range files {
+		seq, mt, err := fs.replayFile(in, res)
+		if err != nil {
+			return nil, nil, err
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if mt > maxTime {
+			maxTime = mt
+		}
+	}
+	fs.seq = maxSeq
+	fs.clock = maxTime
+
+	// Pass 5: mark used blocks (log chains + reachable data pages) and
+	// rebuild the allocator.
+	mark := func(block uint64) {
+		idx := int64(block) - int64(g.DataStartBlock)
+		if idx < 0 || idx >= g.NumDataBlocks {
+			panic(fmt.Sprintf("nova: block %d outside data region", block))
+		}
+		res.UsedBlocks[idx] = true
+	}
+	for _, in := range fs.inodes {
+		for _, lp := range in.logPages {
+			mark(lp)
+		}
+		in.tree.Walk(func(_ uint64, v rtree.Value) bool {
+			mark(v.Block)
+			return true
+		})
+	}
+	fs.alloc = NewAllocatorFromBitmap(g.DataStartBlock, g.NumDataBlocks, allocShards(), res.UsedBlocks)
+
+	// Pass 6: persist the dangling-dentry pruning (needs the allocator in
+	// case a repair grows the directory log).
+	for _, r := range repairs {
+		r.dir.mu.Lock()
+		if rec, err := encodeDentry(Dentry{Remove: true, Ino: r.ino, Name: r.name}); err == nil {
+			if _, err := fs.appendEntryLocked(r.dir, rec); err == nil {
+				fs.commitTailLocked(r.dir)
+			}
+		}
+		r.dir.mu.Unlock()
+	}
+
+	sort.Slice(res.NeedDedup, func(i, j int) bool { return res.NeedDedup[i].Seq < res.NeedDedup[j].Seq })
+	sort.Slice(res.InProcess, func(i, j int) bool { return res.InProcess[i].Seq < res.InProcess[j].Seq })
+	return fs, res, nil
+}
+
+// replayDir rebuilds a directory's name map and log page list from its log.
+func (fs *FS) replayDir(in *Inode) error {
+	in.logPages = in.logPages[:0]
+	if err := fs.collectLogPages(in); err != nil {
+		return err
+	}
+	return fs.walkLog(in.logHead, in.logTail, func(off uint64, rec layout.Record) bool {
+		d, err := decodeDentry(rec)
+		if err != nil {
+			return true // slot could predate the tail of a reused page; skip
+		}
+		if d.Remove {
+			delete(in.names, d.Name)
+		} else {
+			in.names[d.Name] = d.Ino
+		}
+		return true
+	})
+}
+
+// replayFile rebuilds one file's radix tree and live counts and collects
+// flagged entries into res. Returns the largest seq and mtime seen.
+func (fs *FS) replayFile(in *Inode, res *ScanResult) (uint64, uint64, error) {
+	if err := fs.collectLogPages(in); err != nil {
+		return 0, 0, err
+	}
+	var maxSeq, maxTime uint64
+	var decodeErr error
+	err := fs.walkLog(in.logHead, in.logTail, func(off uint64, rec layout.Record) bool {
+		if rec.U8(0) == EntryInvalid {
+			return true // zeroed padding slot (thorough-GC page tail)
+		}
+		if rec.U8(0) == EntryTruncate {
+			size, seq, err := decodeTruncateEntry(rec)
+			if err != nil {
+				decodeErr = fmt.Errorf("nova: inode %d: entry %#x: %w", in.ino, off, err)
+				return false
+			}
+			fs.replayTruncateLocked(in, size)
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+			return true
+		}
+		we, err := decodeWriteEntry(rec)
+		if err != nil {
+			decodeErr = fmt.Errorf("nova: inode %d: entry %#x: %w", in.ino, off, err)
+			return false
+		}
+		in.addLiveLocked(off, int(we.NumPages))
+		for i := uint64(0); i < uint64(we.NumPages); i++ {
+			prev, replaced := in.tree.Insert(we.PgOff+i, rtree.Value{Block: we.Block + i, Entry: off})
+			if replaced {
+				in.live[pageOfOff(prev.Entry)]--
+			}
+		}
+		if we.EndOff > in.size {
+			in.size = we.EndOff
+		}
+		if we.Mtime > in.mtime {
+			in.mtime = we.Mtime
+		}
+		if we.Seq > maxSeq {
+			maxSeq = we.Seq
+		}
+		if we.Mtime > maxTime {
+			maxTime = we.Mtime
+		}
+		switch we.DedupeFlag {
+		case FlagNeeded:
+			res.NeedDedup = append(res.NeedDedup, EntryRef{Ino: in.ino, Off: off, Seq: we.Seq})
+		case FlagInProcess:
+			res.InProcess = append(res.InProcess, EntryRef{Ino: in.ino, Off: off, Seq: we.Seq})
+		}
+		return true
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if decodeErr != nil {
+		return 0, 0, decodeErr
+	}
+	in.pages = uint64(in.tree.Len())
+	return maxSeq, maxTime, nil
+}
+
+// collectLogPages walks the page chain from logHead, filling in.logPages.
+func (fs *FS) collectLogPages(in *Inode) error {
+	in.logPages = nil
+	seen := make(map[uint64]bool)
+	for pg := in.logHead; pg != 0; {
+		if seen[pg] {
+			return fmt.Errorf("nova: inode %d log chain contains a cycle at page %d", in.ino, pg)
+		}
+		seen[pg] = true
+		in.logPages = append(in.logPages, pg)
+		if in.live[pg] == 0 {
+			in.live[pg] = 0
+		}
+		next, err := fs.logPageNext(pg)
+		if err != nil {
+			return err
+		}
+		pg = next
+	}
+	if len(in.logPages) == 0 {
+		return fmt.Errorf("nova: inode %d has no log", in.ino)
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package nova
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"denova/internal/pmem"
+)
+
+func TestTruncateShrink(t *testing.T) {
+	_, fs := mkfsT(t)
+	data := patternData(3*PageSize+100, 1)
+	in := writeFileT(t, fs, "f", data)
+	free := fs.FreeBlocks()
+	if err := fs.Truncate(in, PageSize+50, FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	if in.Size() != PageSize+50 {
+		t.Fatalf("size = %d", in.Size())
+	}
+	// Pages 2 and 3 dropped: two blocks back.
+	if got := fs.FreeBlocks() - free; got != 2 {
+		t.Fatalf("freed %d blocks, want 2", got)
+	}
+	got := readFileT(t, fs, in, 0, 4*PageSize)
+	if !bytes.Equal(got, data[:PageSize+50]) {
+		t.Fatal("content after shrink wrong")
+	}
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateGrowReadsZeros(t *testing.T) {
+	_, fs := mkfsT(t)
+	in := writeFileT(t, fs, "f", patternData(100, 2))
+	if err := fs.Truncate(in, 2*PageSize, FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	got := readFileT(t, fs, in, 0, 2*PageSize)
+	if len(got) != 2*PageSize {
+		t.Fatalf("read %d bytes", len(got))
+	}
+	for i := 100; i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("hole byte %d = %d", i, got[i])
+		}
+	}
+}
+
+func TestTruncateToZeroAndRewrite(t *testing.T) {
+	_, fs := mkfsT(t)
+	in := writeFileT(t, fs, "f", patternData(2*PageSize, 3))
+	free0 := fs.FreeBlocks()
+	if err := fs.Truncate(in, 0, FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	if in.Size() != 0 || in.PageCount() != 0 {
+		t.Fatalf("size=%d pages=%d after truncate to zero", in.Size(), in.PageCount())
+	}
+	if fs.FreeBlocks() != free0+2 {
+		t.Fatalf("blocks not reclaimed: %d vs %d", fs.FreeBlocks(), free0+2)
+	}
+	fresh := patternData(PageSize, 4)
+	if _, err := fs.Write(in, 0, fresh, FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readFileT(t, fs, in, 0, PageSize), fresh) {
+		t.Fatal("rewrite after truncate wrong")
+	}
+}
+
+func TestTruncateNoopAndDirRejected(t *testing.T) {
+	_, fs := mkfsT(t)
+	in := writeFileT(t, fs, "f", patternData(10, 5))
+	if err := fs.Truncate(in, 10, FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate(fs.Root(), 0, FlagNone); err == nil {
+		t.Fatal("truncated a directory")
+	}
+}
+
+func TestTruncateSurvivesRemount(t *testing.T) {
+	dev, fs := mkfsT(t)
+	data := patternData(3*PageSize, 6)
+	in := writeFileT(t, fs, "f", data)
+	fs.Truncate(in, PageSize, FlagNone)
+	fs.Unmount()
+	fs2, _, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := fs2.Lookup("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.Size() != PageSize {
+		t.Fatalf("size after remount = %d", in2.Size())
+	}
+	if !bytes.Equal(readFileT(t, fs2, in2, 0, 2*PageSize), data[:PageSize]) {
+		t.Fatal("content after remount wrong")
+	}
+	if err := fs2.Fsck(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateThenWriteThenCrash(t *testing.T) {
+	dev, fs := mkfsT(t)
+	data := patternData(3*PageSize, 7)
+	in := writeFileT(t, fs, "f", data)
+	fs.Truncate(in, PageSize, FlagNone)
+	patch := patternData(PageSize, 8)
+	fs.Write(in, 4*PageSize, patch, FlagNone) // write past the hole
+	img := dev.CrashImage(pmem.CrashDropDirty, 0)
+	fs2, _, err := Mount(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, _ := fs2.Lookup("f")
+	if in2.Size() != 5*PageSize {
+		t.Fatalf("size = %d, want %d", in2.Size(), 5*PageSize)
+	}
+	got := readFileT(t, fs2, in2, 0, 5*PageSize)
+	want := make([]byte, 5*PageSize)
+	copy(want, data[:PageSize])
+	copy(want[4*PageSize:], patch)
+	if !bytes.Equal(got, want) {
+		t.Fatal("truncate+write sequence not replayed correctly")
+	}
+	if err := fs2.Fsck(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateCrashSweep(t *testing.T) {
+	// Crash at every persist point of a shrinking truncate: the file is
+	// atomically either the old or the new size, content intact either way.
+	base := pmem.New(testDevSize, pmem.ProfileZero)
+	{
+		fs, err := Mkfs(base, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeFileT(t, fs, "f", patternData(4*PageSize, 9))
+		fs.Unmount()
+	}
+	probe := base.Clone()
+	fsP, _, err := Mount(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inP, _ := fsP.Lookup("f")
+	start := probe.PersistOps()
+	fsP.Truncate(inP, PageSize, FlagNone)
+	total := probe.PersistOps() - start
+	if total == 0 {
+		t.Fatal("truncate persisted nothing")
+	}
+
+	data := patternData(4*PageSize, 9)
+	for k := int64(1); k <= total; k++ {
+		work := base.Clone()
+		fsW, _, err := Mount(work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inW, _ := fsW.Lookup("f")
+		work.SetCrashAfter(k)
+		pmem.RunToCrash(func() { fsW.Truncate(inW, PageSize, FlagNone) })
+		img := work.CrashImage(pmem.CrashDropDirty, k)
+		fsR, _, err := Mount(img)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		inR, err := fsR.Lookup("f")
+		if err != nil {
+			t.Fatalf("k=%d: file lost", k)
+		}
+		sz := inR.Size()
+		if sz != PageSize && sz != 4*PageSize {
+			t.Fatalf("k=%d: size %d is neither old nor new", k, sz)
+		}
+		got := readFileT(t, fsR, inR, 0, int(sz))
+		if !bytes.Equal(got, data[:sz]) {
+			t.Fatalf("k=%d: content wrong at size %d", k, sz)
+		}
+		if err := fsR.Fsck(nil); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestFsckCleanOnHealthyFS(t *testing.T) {
+	_, fs := mkfsT(t)
+	for i := 0; i < 20; i++ {
+		writeFileT(t, fs, fmt.Sprintf("f%d", i), patternData(PageSize*(i%3+1), byte(i)))
+	}
+	fs.Delete("f3")
+	in, _ := fs.Lookup("f4")
+	fs.Write(in, 0, patternData(PageSize, 99), FlagNone)
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsckDetectsLeak(t *testing.T) {
+	_, fs := mkfsT(t)
+	writeFileT(t, fs, "f", patternData(PageSize, 1))
+	// Leak a block: allocate and drop it.
+	if _, err := fs.alloc.Alloc(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Fsck(nil); err == nil {
+		t.Fatal("fsck missed a leaked block")
+	}
+}
+
+func TestFsckDetectsRadixCorruption(t *testing.T) {
+	_, fs := mkfsT(t)
+	in := writeFileT(t, fs, "f", patternData(PageSize, 1))
+	// Corrupt the DRAM radix: point page 0 at a bogus block.
+	in.mu.Lock()
+	v, _ := in.tree.Lookup(0)
+	v.Block++
+	in.tree.Insert(0, v)
+	in.mu.Unlock()
+	if err := fs.Fsck(nil); err == nil {
+		t.Fatal("fsck missed radix/log divergence")
+	}
+}

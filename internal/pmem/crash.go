@@ -1,0 +1,132 @@
+package pmem
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// Crash injection.
+//
+// A "persist point" is any event that makes a cache line durable: one line
+// of a Flush, or one line of a non-temporal store. Arming the device with
+// SetCrashAfter(k) makes the k-th subsequent persist point panic with
+// ErrCrashInjected *after* persisting its line; sweeping k over every
+// persist point of an operation enumerates all persistence prefixes the
+// paper's §V-C failure analysis reasons about. Cached stores that were never
+// flushed are additionally at the mercy of cache eviction on real hardware,
+// which CrashImage models with CrashEvictRandom.
+
+// CrashMode selects how unflushed cache lines are treated when a crash
+// image is taken.
+type CrashMode int
+
+const (
+	// CrashDropDirty discards every unflushed line: the persistent image is
+	// exactly the explicitly persisted state. This is the standard model
+	// for reasoning about flush-based consistency.
+	CrashDropDirty CrashMode = iota
+	// CrashEvictRandom persists each unflushed line independently with
+	// probability ½ (driven by the given seed), modelling arbitrary cache
+	// eviction before power loss. Correct recovery code must tolerate any
+	// subset, since a store may become durable without ever being flushed.
+	CrashEvictRandom
+	// CrashKeepDirty persists every unflushed line (all stores survived
+	// eviction). Included to complete the lattice of possible images.
+	CrashKeepDirty
+)
+
+// SetCrashAfter arms the crash injector: the n-th future persist point
+// (1-based) panics with ErrCrashInjected. n <= 0 disarms.
+func (d *Device) SetCrashAfter(n int64) {
+	if n <= 0 {
+		atomic.StoreInt32(&d.crashArmed, 0)
+		return
+	}
+	atomic.StoreInt64(&d.crashAt, atomic.LoadInt64(&d.persistOps)+n)
+	atomic.StoreInt32(&d.crashArmed, 1)
+}
+
+// PersistOps returns the number of persist points executed so far. Run an
+// operation once unarmed, read this counter, and you know the sweep range.
+func (d *Device) PersistOps() int64 { return atomic.LoadInt64(&d.persistOps) }
+
+func (d *Device) persistPoint() {
+	n := atomic.AddInt64(&d.persistOps, 1)
+	if atomic.LoadInt32(&d.crashArmed) == 1 && n == atomic.LoadInt64(&d.crashAt) {
+		atomic.StoreInt32(&d.crashArmed, 0)
+		panic(ErrCrashInjected)
+	}
+}
+
+// RunToCrash executes fn, recovering an injected crash. It returns true if
+// fn was interrupted by ErrCrashInjected and false if fn ran to completion.
+// Any other panic propagates.
+func RunToCrash(fn func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == ErrCrashInjected {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return false
+}
+
+// CrashImage materializes the device state a power failure would leave
+// behind, as a fresh device with the same size and profile and an empty
+// dirty set. The source device should not be used afterwards (the goroutines
+// that were mutating it are assumed dead, as after a real crash).
+func (d *Device) CrashImage(mode CrashMode, seed int64) *Device {
+	img := New(d.size, d.prof)
+	copy(img.buf, d.buf)
+	var rng *rand.Rand
+	if mode == CrashEvictRandom {
+		rng = rand.New(rand.NewSource(seed))
+	}
+	// Walk dirty lines; for each, decide whether the volatile content
+	// (already in img.buf) survives or the old persisted content is
+	// restored.
+	for i := range d.dirty {
+		sh := &d.dirty[i]
+		sh.mu.Lock()
+		for l, old := range sh.old {
+			restore := false
+			switch mode {
+			case CrashDropDirty:
+				restore = true
+			case CrashEvictRandom:
+				restore = rng.Intn(2) == 0
+			case CrashKeepDirty:
+				restore = false
+			}
+			if restore {
+				copy(img.buf[l*CacheLineSize:], old)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return img
+}
+
+// Clone returns an independent copy of the device including its dirty-line
+// overlay. Useful for exploring several crash modes from one captured state.
+func (d *Device) Clone() *Device {
+	img := New(d.size, d.prof)
+	copy(img.buf, d.buf)
+	for i := range d.dirty {
+		sh := &d.dirty[i]
+		sh.mu.Lock()
+		for l, old := range sh.old {
+			cp := make([]byte, CacheLineSize)
+			copy(cp, old)
+			img.dirty[i].old[l] = cp
+			img.dirty[i].n++
+			img.dirtyCount++
+		}
+		sh.mu.Unlock()
+	}
+	return img
+}

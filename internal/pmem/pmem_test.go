@@ -1,0 +1,554 @@
+package pmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newDev(t *testing.T, pages int64) *Device {
+	t.Helper()
+	return New(pages*PageSize, ProfileZero)
+}
+
+func TestNewRoundsUpToPage(t *testing.T) {
+	d := New(PageSize+1, ProfileZero)
+	if d.Size() != 2*PageSize {
+		t.Fatalf("size = %d, want %d", d.Size(), 2*PageSize)
+	}
+}
+
+func TestNewPanicsOnNonPositiveSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, ProfileZero)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := newDev(t, 4)
+	want := []byte("hello, persistent world")
+	d.Write(100, want)
+	got := make([]byte, len(want))
+	d.Read(100, got)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	d := newDev(t, 1)
+	for _, fn := range []func(){
+		func() { d.Read(PageSize-1, make([]byte, 2)) },
+		func() { d.Write(-1, make([]byte, 1)) },
+		func() { d.Load64(PageSize) },
+		func() { d.Store64(PageSize-4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected out-of-bounds panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnalignedAtomicsPanic(t *testing.T) {
+	d := newDev(t, 1)
+	for _, fn := range []func(){
+		func() { d.Load64(1) },
+		func() { d.Store64(4, 1) },
+		func() { d.CAS64(12, 0, 1) },
+		func() { d.Add64(20, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected unaligned panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnflushedStoreLostOnCrash(t *testing.T) {
+	d := newDev(t, 4)
+	d.Write(0, []byte{1, 2, 3, 4})
+	img := d.CrashImage(CrashDropDirty, 0)
+	got := make([]byte, 4)
+	img.Read(0, got)
+	if !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatalf("unflushed store survived crash: %v", got)
+	}
+}
+
+func TestFlushedStoreSurvivesCrash(t *testing.T) {
+	d := newDev(t, 4)
+	d.Write(0, []byte{1, 2, 3, 4})
+	d.Persist(0, 4)
+	img := d.CrashImage(CrashDropDirty, 0)
+	got := make([]byte, 4)
+	img.Read(0, got)
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("flushed store lost on crash: %v", got)
+	}
+}
+
+func TestPartialFlushCrashKeepsLineGranularity(t *testing.T) {
+	d := newDev(t, 4)
+	// Two stores on two different lines; flush only the first line.
+	d.Write(0, []byte{0xAA})
+	d.Write(CacheLineSize, []byte{0xBB})
+	d.Flush(0, 1)
+	img := d.CrashImage(CrashDropDirty, 0)
+	b := make([]byte, 1)
+	img.Read(0, b)
+	if b[0] != 0xAA {
+		t.Errorf("flushed line lost: %#x", b[0])
+	}
+	img.Read(CacheLineSize, b)
+	if b[0] != 0 {
+		t.Errorf("unflushed line survived: %#x", b[0])
+	}
+}
+
+func TestWriteNTIsImmediatelyDurable(t *testing.T) {
+	d := newDev(t, 4)
+	p := bytes.Repeat([]byte{0x5A}, 3*CacheLineSize)
+	d.WriteNT(10, p) // deliberately unaligned start
+	img := d.CrashImage(CrashDropDirty, 0)
+	got := make([]byte, len(p))
+	img.Read(10, got)
+	if !bytes.Equal(got, p) {
+		t.Fatal("WriteNT data lost on crash")
+	}
+}
+
+func TestWriteNTOverUnflushedStore(t *testing.T) {
+	// A cached store followed by an NT store to the same line: the NT data
+	// must be what survives, not the pre-store image.
+	d := newDev(t, 4)
+	d.Write(0, []byte{1, 1, 1, 1})
+	d.WriteNT(0, []byte{2, 2})
+	img := d.CrashImage(CrashDropDirty, 0)
+	got := make([]byte, 4)
+	img.Read(0, got)
+	if got[0] != 2 || got[1] != 2 {
+		t.Fatalf("NT bytes lost: %v", got)
+	}
+	// Bytes 2,3 were only cached-stored; they share the NT-persisted line,
+	// so in this model they persist with it (line granularity).
+	if got[2] != 1 || got[3] != 1 {
+		t.Fatalf("line-granular persist violated: %v", got)
+	}
+}
+
+func TestStore64AtomicPersistence(t *testing.T) {
+	d := newDev(t, 1)
+	d.Store64(64, 0xDEADBEEFCAFEF00D)
+	d.Persist(64, 8)
+	img := d.CrashImage(CrashDropDirty, 0)
+	if v := img.Load64(64); v != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("Load64 = %#x", v)
+	}
+}
+
+func TestCAS64(t *testing.T) {
+	d := newDev(t, 1)
+	d.Store64(0, 7)
+	if d.CAS64(0, 6, 9) {
+		t.Fatal("CAS succeeded with wrong expected value")
+	}
+	if !d.CAS64(0, 7, 9) {
+		t.Fatal("CAS failed with correct expected value")
+	}
+	if v := d.Load64(0); v != 9 {
+		t.Fatalf("after CAS, value = %d", v)
+	}
+}
+
+func TestAdd64TwosComplement(t *testing.T) {
+	d := newDev(t, 1)
+	d.Store64(0, 10)
+	if v := d.Add64(0, ^uint64(0)); v != 9 { // add -1
+		t.Fatalf("Add64(-1) = %d, want 9", v)
+	}
+}
+
+func TestAdd64Concurrent(t *testing.T) {
+	d := newDev(t, 1)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.Add64(0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := d.Load64(0); v != goroutines*per {
+		t.Fatalf("concurrent Add64 lost updates: %d", v)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := newDev(t, 4)
+	d.ResetStats()
+	d.Write(0, make([]byte, 128))
+	d.Flush(0, 128) // 2 lines
+	d.Fence()
+	d.Read(0, make([]byte, 65)) // spans 2 lines
+	s := d.Stats()
+	if s.FlushedLines != 2 {
+		t.Errorf("FlushedLines = %d, want 2", s.FlushedLines)
+	}
+	if s.Fences != 1 {
+		t.Errorf("Fences = %d, want 1", s.Fences)
+	}
+	if s.ReadLines != 2 {
+		t.Errorf("ReadLines = %d, want 2", s.ReadLines)
+	}
+	if s.WrittenBytes != 128 {
+		t.Errorf("WrittenBytes = %d, want 128", s.WrittenBytes)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	d := newDev(t, 1)
+	d.Write(0, make([]byte, 64))
+	before := d.Stats()
+	d.Flush(0, 64)
+	delta := d.Stats().Sub(before)
+	if delta.FlushedLines != 1 || delta.WrittenBytes != 0 {
+		t.Fatalf("delta = %+v", delta)
+	}
+}
+
+func TestCrashInjectionAtEveryPersistPoint(t *testing.T) {
+	// Write 3 lines NT: 3 persist points. Sweeping the crash point must
+	// yield strictly growing persisted prefixes.
+	payload := bytes.Repeat([]byte{0xEE}, 3*CacheLineSize)
+	for k := int64(1); k <= 3; k++ {
+		d := newDev(t, 4)
+		d.SetCrashAfter(k)
+		crashed := RunToCrash(func() { d.WriteNT(0, payload) })
+		if !crashed {
+			t.Fatalf("k=%d: expected crash", k)
+		}
+		img := d.CrashImage(CrashDropDirty, 0)
+		got := make([]byte, len(payload))
+		img.Read(0, got)
+		persisted := int64(0)
+		for persisted < int64(len(got)) && got[persisted] == 0xEE {
+			persisted++
+		}
+		if persisted != k*CacheLineSize {
+			t.Fatalf("k=%d: persisted %d bytes, want %d", k, persisted, k*CacheLineSize)
+		}
+	}
+}
+
+func TestRunToCrashNoCrash(t *testing.T) {
+	if RunToCrash(func() {}) {
+		t.Fatal("RunToCrash reported a crash for a clean run")
+	}
+}
+
+func TestRunToCrashPropagatesOtherPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	RunToCrash(func() { panic("boom") })
+}
+
+func TestSetCrashAfterDisarm(t *testing.T) {
+	d := newDev(t, 1)
+	d.SetCrashAfter(1)
+	d.SetCrashAfter(0) // disarm
+	if RunToCrash(func() { d.Persist(0, 8) }) {
+		t.Fatal("disarmed injector fired")
+	}
+}
+
+func TestCrashEvictRandomIsDeterministicPerSeed(t *testing.T) {
+	mk := func() *Device {
+		d := newDev(t, 4)
+		for l := 0; l < 32; l++ {
+			d.Write(int64(l)*CacheLineSize, []byte{byte(l + 1)})
+		}
+		return d
+	}
+	read := func(img *Device) []byte {
+		out := make([]byte, 32)
+		for l := 0; l < 32; l++ {
+			b := make([]byte, 1)
+			img.Read(int64(l)*CacheLineSize, b)
+			out[l] = b[0]
+		}
+		return out
+	}
+	a := read(mk().CrashImage(CrashEvictRandom, 42))
+	b := read(mk().CrashImage(CrashEvictRandom, 42))
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different eviction images")
+	}
+	c := read(mk().CrashImage(CrashKeepDirty, 0))
+	for l := 0; l < 32; l++ {
+		if c[l] != byte(l+1) {
+			t.Fatalf("CrashKeepDirty dropped line %d", l)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := newDev(t, 1)
+	d.Write(0, []byte{9})
+	c := d.Clone()
+	d.Write(0, []byte{7})
+	b := make([]byte, 1)
+	c.Read(0, b)
+	if b[0] != 9 {
+		t.Fatalf("clone saw later write: %d", b[0])
+	}
+	// Clone preserves dirtiness: the store must still be lost on crash.
+	img := c.CrashImage(CrashDropDirty, 0)
+	img.Read(0, b)
+	if b[0] != 0 {
+		t.Fatalf("clone lost dirty tracking: %d", b[0])
+	}
+}
+
+func TestDirtyLines(t *testing.T) {
+	d := newDev(t, 4)
+	if d.DirtyLines() != 0 {
+		t.Fatal("fresh device has dirty lines")
+	}
+	d.Write(0, make([]byte, 2*CacheLineSize))
+	if n := d.DirtyLines(); n != 2 {
+		t.Fatalf("DirtyLines = %d, want 2", n)
+	}
+	d.Persist(0, 2*CacheLineSize)
+	if n := d.DirtyLines(); n != 0 {
+		t.Fatalf("DirtyLines after persist = %d, want 0", n)
+	}
+}
+
+func TestLatencyChargedAndCounted(t *testing.T) {
+	p := LatencyProfile{Name: "test", ReadPerLine: 200 * time.Microsecond}
+	d := New(PageSize, p)
+	start := time.Now()
+	d.Read(0, make([]byte, CacheLineSize))
+	if elapsed := time.Since(start); elapsed < 150*time.Microsecond {
+		t.Fatalf("latency not injected: %v", elapsed)
+	}
+	if s := d.Stats(); s.SimLatencyNs < int64(150*time.Microsecond) {
+		t.Fatalf("SimLatencyNs = %d", s.SimLatencyNs)
+	}
+}
+
+func TestProfileZeroPredicate(t *testing.T) {
+	if !ProfileZero.Zero() {
+		t.Fatal("ProfileZero.Zero() = false")
+	}
+	if ProfileOptane.Zero() {
+		t.Fatal("ProfileOptane.Zero() = true")
+	}
+}
+
+// Property: for any sequence of writes, flushes and a crash, every byte of
+// the crash image equals either the latest persisted content or — only for
+// bytes on never-flushed lines — the previous persisted content.
+func TestPropertyCrashImageConsistency(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		const pages = 2
+		d := New(pages*PageSize, ProfileZero)
+		shadowPersisted := make([]byte, pages*PageSize) // expected durable state
+		shadowVolatile := make([]byte, pages*PageSize)
+		flushed := make(map[int64]bool)
+		val := byte(1)
+		for _, op := range ops {
+			off := int64(op) % (pages*PageSize - 8)
+			switch op % 3 {
+			case 0: // cached store of 4 bytes
+				b := []byte{val, val, val, val}
+				d.Write(off, b)
+				copy(shadowVolatile[off:], b)
+				for l := lineOf(off); l <= lineOf(off+3); l++ {
+					flushed[l] = false
+				}
+				val++
+			case 1: // flush the line containing off
+				l := lineOf(off)
+				d.Flush(l*CacheLineSize, CacheLineSize)
+				copy(shadowPersisted[l*CacheLineSize:(l+1)*CacheLineSize],
+					shadowVolatile[l*CacheLineSize:(l+1)*CacheLineSize])
+				flushed[l] = true
+			case 2: // NT store of 8 bytes
+				b := []byte{val, val, val, val, val, val, val, val}
+				d.WriteNT(off, b)
+				copy(shadowVolatile[off:], b)
+				// NT persists the touched lines wholesale (line granularity).
+				for l := lineOf(off); l <= lineOf(off+7); l++ {
+					copy(shadowPersisted[l*CacheLineSize:(l+1)*CacheLineSize],
+						shadowVolatile[l*CacheLineSize:(l+1)*CacheLineSize])
+					flushed[l] = true
+				}
+				val++
+			}
+		}
+		img := d.CrashImage(CrashDropDirty, seed)
+		got := make([]byte, pages*PageSize)
+		img.Read(0, got)
+		return bytes.Equal(got, shadowPersisted)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Load64/Store64 round-trip through the little-endian layout used
+// by the rest of the system.
+func TestPropertyStore64RoundTrip(t *testing.T) {
+	d := New(PageSize, ProfileZero)
+	f := func(v uint64, slot uint8) bool {
+		off := int64(slot%64) * 8
+		d.Store64(off, v)
+		raw := make([]byte, 8)
+		d.Read(off, raw)
+		return d.Load64(off) == v && binary.LittleEndian.Uint64(raw) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinesSpanned(t *testing.T) {
+	cases := []struct {
+		off  int64
+		n    int
+		want int64
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 64, 1}, {0, 65, 2},
+		{63, 1, 1}, {63, 2, 2}, {64, 64, 1}, {10, 128, 3},
+	}
+	for _, c := range cases {
+		if got := linesSpanned(c.off, c.n); got != c.want {
+			t.Errorf("linesSpanned(%d,%d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestCrashKeepDirtyEqualsVolatileView(t *testing.T) {
+	// With every dirty line persisted, the crash image must equal the
+	// volatile view byte for byte.
+	d := newDev(t, 2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		off := rng.Int63n(2*PageSize - 16)
+		b := make([]byte, rng.Intn(16)+1)
+		rng.Read(b)
+		if i%3 == 0 {
+			d.WriteNT(off, b)
+		} else {
+			d.Write(off, b)
+		}
+	}
+	want := make([]byte, 2*PageSize)
+	d.Read(0, want)
+	img := d.CrashImage(CrashKeepDirty, 0)
+	got := make([]byte, 2*PageSize)
+	img.Read(0, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("CrashKeepDirty image differs from the volatile view")
+	}
+}
+
+func TestEvictionImageBetweenDropAndKeep(t *testing.T) {
+	// Property: for any byte, the eviction image agrees with either the
+	// drop-dirty image or the keep-dirty image.
+	d := newDev(t, 2)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		off := rng.Int63n(2*PageSize - 8)
+		b := []byte{byte(i), byte(i + 1)}
+		d.Write(off, b)
+		if rng.Intn(4) == 0 {
+			d.Persist(off, len(b))
+		}
+	}
+	read := func(dev *Device) []byte {
+		out := make([]byte, 2*PageSize)
+		dev.Read(0, out)
+		return out
+	}
+	// Clone before materializing: CrashImage consumes nothing, but the
+	// three images must come from identical dirty state.
+	drop := read(d.Clone().CrashImage(CrashDropDirty, 0))
+	keep := read(d.Clone().CrashImage(CrashKeepDirty, 0))
+	evict := read(d.Clone().CrashImage(CrashEvictRandom, 77))
+	for i := range evict {
+		if evict[i] != drop[i] && evict[i] != keep[i] {
+			t.Fatalf("byte %d: eviction image (%d) outside the drop(%d)/keep(%d) lattice", i, evict[i], drop[i], keep[i])
+		}
+	}
+}
+
+func TestBandwidthSharingScalesLatency(t *testing.T) {
+	prof := LatencyProfile{Name: "bw", WritePerLine: 50 * time.Microsecond, BandwidthSharing: true}
+	d := New(4*PageSize, prof)
+	payload := make([]byte, CacheLineSize)
+	solo := func() time.Duration {
+		start := time.Now()
+		d.WriteNT(0, payload)
+		return time.Since(start)
+	}()
+	// Two concurrent writers must each see roughly doubled latency.
+	var wg sync.WaitGroup
+	durs := make([]time.Duration, 2)
+	for i := range durs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			d.WriteNT(int64(i+1)*PageSize, payload)
+			durs[i] = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	for i, dur := range durs {
+		if dur < solo*12/10 {
+			t.Logf("writer %d: %v vs solo %v (contention window may have been missed)", i, dur, solo)
+		}
+	}
+	// At least the counters must reflect all three writes.
+	if s := d.Stats(); s.NTLines != 3 {
+		t.Fatalf("NTLines = %d", s.NTLines)
+	}
+}
+
+func TestPersistOpsMonotone(t *testing.T) {
+	d := newDev(t, 1)
+	before := d.PersistOps()
+	d.WriteNT(0, make([]byte, 3*CacheLineSize))
+	d.Write(256, []byte{1})
+	d.Persist(256, 1)
+	after := d.PersistOps()
+	if after-before != 4 { // 3 NT lines + 1 flushed line
+		t.Fatalf("persist ops delta = %d, want 4", after-before)
+	}
+}

@@ -1,0 +1,71 @@
+package pmem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats aggregates device access counters. All fields are maintained with
+// atomic adds regardless of the latency profile, so access counts are
+// available even in zero-latency unit tests.
+type Stats struct {
+	// ReadLines counts 64 B cache lines read from media.
+	ReadLines int64
+	// FlushedLines counts lines persisted by Flush.
+	FlushedLines int64
+	// NTLines counts lines persisted by non-temporal stores.
+	NTLines int64
+	// Fences counts Fence calls.
+	Fences int64
+	// ReadBytes and WrittenBytes count payload bytes moved.
+	ReadBytes    int64
+	WrittenBytes int64
+	// SimLatencyNs is the total injected media latency in nanoseconds.
+	SimLatencyNs int64
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		ReadLines:    atomic.LoadInt64(&d.stats.ReadLines),
+		FlushedLines: atomic.LoadInt64(&d.stats.FlushedLines),
+		NTLines:      atomic.LoadInt64(&d.stats.NTLines),
+		Fences:       atomic.LoadInt64(&d.stats.Fences),
+		ReadBytes:    atomic.LoadInt64(&d.stats.ReadBytes),
+		WrittenBytes: atomic.LoadInt64(&d.stats.WrittenBytes),
+		SimLatencyNs: atomic.LoadInt64(&d.stats.SimLatencyNs),
+	}
+}
+
+// ResetStats zeroes all counters.
+func (d *Device) ResetStats() {
+	atomic.StoreInt64(&d.stats.ReadLines, 0)
+	atomic.StoreInt64(&d.stats.FlushedLines, 0)
+	atomic.StoreInt64(&d.stats.NTLines, 0)
+	atomic.StoreInt64(&d.stats.Fences, 0)
+	atomic.StoreInt64(&d.stats.ReadBytes, 0)
+	atomic.StoreInt64(&d.stats.WrittenBytes, 0)
+	atomic.StoreInt64(&d.stats.SimLatencyNs, 0)
+}
+
+// Sub returns s minus t, field-wise. Useful for measuring a phase.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		ReadLines:    s.ReadLines - t.ReadLines,
+		FlushedLines: s.FlushedLines - t.FlushedLines,
+		NTLines:      s.NTLines - t.NTLines,
+		Fences:       s.Fences - t.Fences,
+		ReadBytes:    s.ReadBytes - t.ReadBytes,
+		WrittenBytes: s.WrittenBytes - t.WrittenBytes,
+		SimLatencyNs: s.SimLatencyNs - t.SimLatencyNs,
+	}
+}
+
+// PersistedLines is the total number of lines made durable.
+func (s Stats) PersistedLines() int64 { return s.FlushedLines + s.NTLines }
+
+// String renders the counters on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("readLines=%d flushLines=%d ntLines=%d fences=%d readB=%d writeB=%d simLatency=%dns",
+		s.ReadLines, s.FlushedLines, s.NTLines, s.Fences, s.ReadBytes, s.WrittenBytes, s.SimLatencyNs)
+}

@@ -1,0 +1,204 @@
+// Package rtree implements the DRAM radix tree NOVA uses to index a file's
+// pages: it maps a 64-bit file page offset to the log entry and data block
+// currently backing that page (§II-A of the paper, step ④ of Fig. 1).
+//
+// The structure mirrors the Linux kernel radix tree: 6-bit fanout per level
+// (64 slots), height grown on demand to cover the largest inserted key. The
+// tree is not internally synchronized; NOVA protects it with the per-inode
+// lock, and so do we.
+package rtree
+
+const (
+	bitsPerLevel = 6
+	fanout       = 1 << bitsPerLevel // 64
+	levelMask    = fanout - 1
+)
+
+// Value is what a file page maps to.
+type Value struct {
+	// Block is the absolute device page number holding the data.
+	Block uint64
+	// Entry is the device byte offset of the log write entry that
+	// established this mapping. Needed to maintain per-log-page live entry
+	// counts for garbage collection.
+	Entry uint64
+}
+
+type node struct {
+	slots [fanout]*node // internal levels
+	vals  [fanout]Value // leaf level
+	set   uint64        // leaf level: bitmap of occupied vals
+	count int           // number of live descendants (leaf: set bits)
+}
+
+// Tree is a radix tree from uint64 keys to Values. The zero value is an
+// empty tree ready to use.
+type Tree struct {
+	root   *node
+	height int // number of levels; 0 = empty. height h covers keys < 2^(6h).
+	count  int
+}
+
+// Len returns the number of keys present.
+func (t *Tree) Len() int { return t.count }
+
+// covered reports whether a tree of height h can address key. Height 11
+// spans 66 bits and therefore covers every uint64.
+func covered(key uint64, h int) bool {
+	if h >= 11 {
+		return true
+	}
+	return key < uint64(1)<<(bitsPerLevel*h)
+}
+
+// grow increases the height until key is coverable.
+func (t *Tree) grow(key uint64) {
+	if t.height == 0 {
+		t.root = &node{}
+		t.height = 1
+	}
+	for !covered(key, t.height) {
+		// Old root becomes slot 0 of a new root.
+		n := &node{count: t.root.count}
+		n.slots[0] = t.root
+		t.root = n
+		t.height++
+	}
+}
+
+// Insert sets key to v, replacing any previous value. It returns the
+// previous value and whether one was present.
+func (t *Tree) Insert(key uint64, v Value) (prev Value, replaced bool) {
+	t.grow(key)
+	n := t.root
+	path := make([]*node, 0, 11)
+	for level := t.height - 1; level > 0; level-- {
+		path = append(path, n)
+		idx := int(key>>(uint(level)*bitsPerLevel)) & levelMask
+		child := n.slots[idx]
+		if child == nil {
+			child = &node{}
+			n.slots[idx] = child
+		}
+		n = child
+	}
+	idx := int(key) & levelMask
+	bit := uint64(1) << uint(idx)
+	if n.set&bit != 0 {
+		prev, replaced = n.vals[idx], true
+		n.vals[idx] = v
+		return prev, true
+	}
+	n.set |= bit
+	n.vals[idx] = v
+	n.count++
+	for _, p := range path {
+		p.count++
+	}
+	t.count++
+	return Value{}, false
+}
+
+// Lookup returns the value for key.
+func (t *Tree) Lookup(key uint64) (Value, bool) {
+	if t.height == 0 || !covered(key, t.height) {
+		return Value{}, false
+	}
+	n := t.root
+	for level := t.height - 1; level > 0; level-- {
+		idx := int(key>>(uint(level)*bitsPerLevel)) & levelMask
+		n = n.slots[idx]
+		if n == nil {
+			return Value{}, false
+		}
+	}
+	idx := int(key) & levelMask
+	if n.set&(uint64(1)<<uint(idx)) == 0 {
+		return Value{}, false
+	}
+	return n.vals[idx], true
+}
+
+// Delete removes key, returning its value and whether it was present. Empty
+// interior nodes are pruned.
+func (t *Tree) Delete(key uint64) (Value, bool) {
+	if t.height == 0 || !covered(key, t.height) {
+		return Value{}, false
+	}
+	type step struct {
+		n   *node
+		idx int
+	}
+	path := make([]step, 0, 11)
+	n := t.root
+	for level := t.height - 1; level > 0; level-- {
+		idx := int(key>>(uint(level)*bitsPerLevel)) & levelMask
+		path = append(path, step{n, idx})
+		n = n.slots[idx]
+		if n == nil {
+			return Value{}, false
+		}
+	}
+	idx := int(key) & levelMask
+	bit := uint64(1) << uint(idx)
+	if n.set&bit == 0 {
+		return Value{}, false
+	}
+	v := n.vals[idx]
+	n.set &^= bit
+	n.vals[idx] = Value{}
+	n.count--
+	t.count--
+	// Prune empty nodes bottom-up.
+	child := n
+	for i := len(path) - 1; i >= 0; i-- {
+		p := path[i]
+		p.n.count--
+		if child.count == 0 {
+			p.n.slots[p.idx] = nil
+		}
+		child = p.n
+	}
+	if t.root != nil && t.root.count == 0 {
+		t.root = nil
+		t.height = 0
+	}
+	return v, true
+}
+
+// Walk calls fn for every (key, value) pair in ascending key order. If fn
+// returns false the walk stops early.
+func (t *Tree) Walk(fn func(key uint64, v Value) bool) {
+	if t.height == 0 {
+		return
+	}
+	t.walk(t.root, t.height-1, 0, fn)
+}
+
+func (t *Tree) walk(n *node, level int, prefix uint64, fn func(uint64, Value) bool) bool {
+	if level == 0 {
+		for i := 0; i < fanout; i++ {
+			if n.set&(uint64(1)<<uint(i)) != 0 {
+				if !fn(prefix|uint64(i), n.vals[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := 0; i < fanout; i++ {
+		if c := n.slots[i]; c != nil {
+			if !t.walk(c, level-1, prefix|uint64(i)<<(uint(level)*bitsPerLevel), fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clear resets the tree to empty.
+func (t *Tree) Clear() {
+	t.root = nil
+	t.height = 0
+	t.count = 0
+}

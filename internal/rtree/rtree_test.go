@@ -1,0 +1,230 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero length")
+	}
+	if _, ok := tr.Lookup(0); ok {
+		t.Fatal("lookup in empty tree succeeded")
+	}
+	if _, ok := tr.Delete(5); ok {
+		t.Fatal("delete in empty tree succeeded")
+	}
+	tr.Walk(func(uint64, Value) bool { t.Fatal("walk visited node in empty tree"); return false })
+}
+
+func TestInsertLookup(t *testing.T) {
+	var tr Tree
+	tr.Insert(0, Value{Block: 10, Entry: 100})
+	tr.Insert(63, Value{Block: 11, Entry: 101})
+	tr.Insert(64, Value{Block: 12, Entry: 102}) // forces growth past one level
+	tr.Insert(1<<30, Value{Block: 13, Entry: 103})
+	cases := map[uint64]Value{
+		0:       {10, 100},
+		63:      {11, 101},
+		64:      {12, 102},
+		1 << 30: {13, 103},
+	}
+	for k, want := range cases {
+		got, ok := tr.Lookup(k)
+		if !ok || got != want {
+			t.Errorf("Lookup(%d) = %v,%v want %v", k, got, ok, want)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if _, ok := tr.Lookup(1); ok {
+		t.Error("Lookup(1) found phantom key")
+	}
+	if _, ok := tr.Lookup(1 << 40); ok {
+		t.Error("Lookup far beyond height found phantom key")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	var tr Tree
+	tr.Insert(7, Value{Block: 1})
+	prev, replaced := tr.Insert(7, Value{Block: 2})
+	if !replaced || prev.Block != 1 {
+		t.Fatalf("replace: prev=%v replaced=%v", prev, replaced)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", tr.Len())
+	}
+	v, _ := tr.Lookup(7)
+	if v.Block != 2 {
+		t.Fatalf("value after replace = %v", v)
+	}
+}
+
+func TestDeleteAndPrune(t *testing.T) {
+	var tr Tree
+	keys := []uint64{0, 1, 64, 4096, 1 << 20}
+	for i, k := range keys {
+		tr.Insert(k, Value{Block: uint64(i)})
+	}
+	for i, k := range keys {
+		v, ok := tr.Delete(k)
+		if !ok || v.Block != uint64(i) {
+			t.Fatalf("Delete(%d) = %v,%v", k, v, ok)
+		}
+		if _, ok := tr.Lookup(k); ok {
+			t.Fatalf("key %d still present after delete", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all, want 0", tr.Len())
+	}
+	if tr.root != nil || tr.height != 0 {
+		t.Fatal("tree not fully pruned after emptying")
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	var tr Tree
+	tr.Insert(100, Value{Block: 1})
+	if _, ok := tr.Delete(101); ok {
+		t.Fatal("deleted missing key")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("failed delete changed length")
+	}
+}
+
+func TestWalkOrderAndEarlyStop(t *testing.T) {
+	var tr Tree
+	keys := []uint64{500, 3, 70, 1 << 25, 0, 64}
+	for _, k := range keys {
+		tr.Insert(k, Value{Block: k * 2})
+	}
+	var visited []uint64
+	tr.Walk(func(k uint64, v Value) bool {
+		if v.Block != k*2 {
+			t.Errorf("key %d carries wrong value %v", k, v)
+		}
+		visited = append(visited, k)
+		return true
+	})
+	if !sort.SliceIsSorted(visited, func(i, j int) bool { return visited[i] < visited[j] }) {
+		t.Fatalf("walk not in ascending order: %v", visited)
+	}
+	if len(visited) != len(keys) {
+		t.Fatalf("walk visited %d keys, want %d", len(visited), len(keys))
+	}
+	n := 0
+	tr.Walk(func(uint64, Value) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestClear(t *testing.T) {
+	var tr Tree
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i*37, Value{Block: i})
+	}
+	tr.Clear()
+	if tr.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+	if _, ok := tr.Lookup(37); ok {
+		t.Fatal("Clear left a findable key")
+	}
+	tr.Insert(5, Value{Block: 9}) // reusable after Clear
+	if v, ok := tr.Lookup(5); !ok || v.Block != 9 {
+		t.Fatal("tree unusable after Clear")
+	}
+}
+
+func TestHugeKeys(t *testing.T) {
+	var tr Tree
+	huge := []uint64{1 << 60, ^uint64(0), ^uint64(0) - 1}
+	for i, k := range huge {
+		tr.Insert(k, Value{Block: uint64(i + 1)})
+	}
+	for i, k := range huge {
+		v, ok := tr.Lookup(k)
+		if !ok || v.Block != uint64(i+1) {
+			t.Fatalf("huge key %d: got %v,%v", k, v, ok)
+		}
+	}
+}
+
+// Property: the tree behaves identically to a map under a random op stream.
+func TestPropertyTreeMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree
+		ref := make(map[uint64]Value)
+		for i := 0; i < 500; i++ {
+			key := uint64(rng.Intn(200)) // dense keys to exercise replace/delete
+			if rng.Intn(4) < 3 {
+				key <<= uint(rng.Intn(30)) // occasionally sparse/huge
+			}
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := Value{Block: rng.Uint64(), Entry: rng.Uint64()}
+				_, repl := tr.Insert(key, v)
+				_, inRef := ref[key]
+				if repl != inRef {
+					return false
+				}
+				ref[key] = v
+			case 2:
+				v, ok := tr.Delete(key)
+				rv, inRef := ref[key]
+				if ok != inRef || (ok && v != rv) {
+					return false
+				}
+				delete(ref, key)
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		// Final verification: full walk matches the map.
+		seen := 0
+		okAll := true
+		tr.Walk(func(k uint64, v Value) bool {
+			rv, ok := ref[k]
+			if !ok || rv != v {
+				okAll = false
+				return false
+			}
+			seen++
+			return true
+		})
+		return okAll && seen == len(ref)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	var tr Tree
+	for i := 0; i < b.N; i++ {
+		tr.Insert(uint64(i), Value{Block: uint64(i)})
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	var tr Tree
+	for i := 0; i < 1<<16; i++ {
+		tr.Insert(uint64(i), Value{Block: uint64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(uint64(i) & (1<<16 - 1))
+	}
+}

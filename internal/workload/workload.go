@@ -1,0 +1,174 @@
+// Package workload generates the synthetic file sets the paper evaluates
+// with (§V-A): fio-style small-file (4 KB) and large-file (128 KB)
+// workloads with a controlled duplicate ratio, optional popularity skew
+// (for the FACT reordering experiments), and the paper's think-time
+// emulation (0.1 ms of think time per 0.1 ms of I/O, §V-B1).
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// ChunkSize is the deduplication granularity the generator controls
+// duplicates at.
+const ChunkSize = 4096
+
+// Spec describes a synthetic file set. The zero value is not useful; use
+// Small/Large for the paper's two standard sets.
+type Spec struct {
+	// Name labels the workload in reports.
+	Name string
+	// FileSize is the size of each file in bytes.
+	FileSize int
+	// NumFiles is how many files the workload writes.
+	NumFiles int
+	// DupRatio is the fraction of chunks drawn from the duplicate pool
+	// (the fio "dedupe_percentage" dial). 0 = all unique, 0.75 = 75 %.
+	DupRatio float64
+	// PoolSize is the number of distinct hot chunks duplicates are drawn
+	// from (default 16, small enough that the realized duplicate ratio
+	// tracks the dial even for few-hundred-chunk workloads).
+	PoolSize int
+	// Zipf skews duplicate-pool popularity with a Zipf(1.2) distribution
+	// instead of uniform — used by the reordering ablation, where a few
+	// very hot chunks should dominate lookups.
+	Zipf bool
+	// Seed makes the data deterministic.
+	Seed int64
+}
+
+// Small returns the paper's small-file workload: numFiles files of 4 KB
+// (§V-B1 uses 1,000,000; benchmarks scale this down).
+func Small(numFiles int, dupRatio float64) Spec {
+	return Spec{Name: "small-4K", FileSize: 4096, NumFiles: numFiles, DupRatio: dupRatio, Seed: 1}
+}
+
+// Large returns the paper's large-file workload: numFiles files of 128 KB.
+func Large(numFiles int, dupRatio float64) Spec {
+	return Spec{Name: "large-128K", FileSize: 128 * 1024, NumFiles: numFiles, DupRatio: dupRatio, Seed: 2}
+}
+
+// TotalBytes is the logical volume the workload writes.
+func (s Spec) TotalBytes() int64 { return int64(s.FileSize) * int64(s.NumFiles) }
+
+// Generator produces deterministic file contents for a Spec. It is safe
+// for concurrent use: FileData derives everything from (Seed, index).
+type Generator struct {
+	spec Spec
+	pool [][]byte
+}
+
+// NewGenerator builds the duplicate pool and returns a generator.
+func NewGenerator(spec Spec) *Generator {
+	if spec.PoolSize <= 0 {
+		spec.PoolSize = 16
+	}
+	g := &Generator{spec: spec}
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5EED))
+	g.pool = make([][]byte, spec.PoolSize)
+	for i := range g.pool {
+		c := make([]byte, ChunkSize)
+		rng.Read(c)
+		g.pool[i] = c
+	}
+	return g
+}
+
+// Spec returns the generator's workload description.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// FileName returns the canonical name of file i.
+func (g *Generator) FileName(i int) string {
+	var b [20]byte
+	copy(b[:], "wl-")
+	binary.BigEndian.PutUint64(b[3:], uint64(i))
+	const hex = "0123456789abcdef"
+	out := make([]byte, 3+16)
+	copy(out, "wl-")
+	for j := 0; j < 8; j++ {
+		out[3+2*j] = hex[b[3+j]>>4]
+		out[3+2*j+1] = hex[b[3+j]&0xF]
+	}
+	return string(out)
+}
+
+// FileData deterministically generates file i's contents: each 4 KB chunk
+// is a pool chunk with probability DupRatio, otherwise a unique chunk that
+// never repeats across the workload.
+func (g *Generator) FileData(i int) []byte {
+	spec := g.spec
+	data := make([]byte, spec.FileSize)
+	rng := rand.New(rand.NewSource(spec.Seed + int64(i)*1_000_003))
+	var zipf *rand.Zipf
+	if spec.Zipf {
+		zipf = rand.NewZipf(rng, 1.2, 1, uint64(len(g.pool)-1))
+	}
+	nChunks := (spec.FileSize + ChunkSize - 1) / ChunkSize
+	for c := 0; c < nChunks; c++ {
+		chunk := data[c*ChunkSize : min(spec.FileSize, (c+1)*ChunkSize)]
+		if rng.Float64() < spec.DupRatio {
+			var pick int
+			if zipf != nil {
+				pick = int(zipf.Uint64())
+			} else {
+				pick = rng.Intn(len(g.pool))
+			}
+			copy(chunk, g.pool[pick])
+			continue
+		}
+		// Unique chunk: stamp a never-repeating identity, then fill with
+		// cheap deterministic noise (a full rng.Read per chunk would make
+		// data generation, not the file system, the bottleneck).
+		binary.LittleEndian.PutUint64(chunk, uint64(i)+1)
+		if len(chunk) > 8 {
+			binary.LittleEndian.PutUint64(chunk[8:], uint64(c)+1)
+		}
+		seed := uint64(spec.Seed)*0x9E3779B97F4A7C15 + uint64(i)<<20 + uint64(c)
+		fillNoise(chunk[16:], seed)
+	}
+	return data
+}
+
+// fillNoise fills p with a fast xorshift stream.
+func fillNoise(p []byte, seed uint64) {
+	x := seed | 1
+	for len(p) >= 8 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		binary.LittleEndian.PutUint64(p, x)
+		p = p[8:]
+	}
+	for i := range p {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p[i] = byte(x)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Think waits for d, emulating application think time. The paper
+// interleaves 0.1 ms of think time with every 0.1 ms of I/O (§V-B1);
+// callers typically pass the elapsed I/O time of the preceding operation.
+// The wait yields the processor so background work (the deduplication
+// daemon) can run in the think gaps, which is precisely what the paper's
+// think-time discipline is for.
+func Think(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+		runtime.Gosched()
+	}
+}

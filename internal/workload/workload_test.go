@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"testing"
+	"time"
+)
+
+func chunkDupStats(g *Generator) (dup, total int) {
+	seen := map[[20]byte]int{}
+	for i := 0; i < g.Spec().NumFiles; i++ {
+		data := g.FileData(i)
+		for c := 0; c+ChunkSize <= len(data); c += ChunkSize {
+			seen[sha1.Sum(data[c:c+ChunkSize])]++
+			total++
+		}
+	}
+	for _, n := range seen {
+		dup += n - 1
+	}
+	return dup, total
+}
+
+func TestDeterministic(t *testing.T) {
+	g1 := NewGenerator(Small(10, 0.5))
+	g2 := NewGenerator(Small(10, 0.5))
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(g1.FileData(i), g2.FileData(i)) {
+			t.Fatalf("file %d differs between identical generators", i)
+		}
+	}
+	if !bytes.Equal(g1.FileData(3), g1.FileData(3)) {
+		t.Fatal("repeated FileData call differs")
+	}
+}
+
+func TestFileNamesUnique(t *testing.T) {
+	g := NewGenerator(Small(100, 0))
+	names := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		n := g.FileName(i)
+		if names[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		names[n] = true
+	}
+}
+
+func TestZeroDupRatioAllUnique(t *testing.T) {
+	g := NewGenerator(Large(20, 0))
+	dup, total := chunkDupStats(g)
+	if dup != 0 {
+		t.Fatalf("dup chunks = %d of %d with ratio 0", dup, total)
+	}
+}
+
+func TestDupRatioApproximatelyHonored(t *testing.T) {
+	for _, ratio := range []float64{0.25, 0.5, 0.75} {
+		spec := Large(50, ratio)
+		spec.Seed = int64(ratio * 100)
+		g := NewGenerator(spec)
+		dup, total := chunkDupStats(g)
+		got := float64(dup) / float64(total)
+		// Duplicates drawn from the pool are duplicates of each other, so
+		// the realized ratio tracks the dial closely (pool chunks minus
+		// first occurrences).
+		if got < ratio-0.08 || got > ratio+0.08 {
+			t.Errorf("ratio %.2f: realized %.3f (%d/%d)", ratio, got, dup, total)
+		}
+	}
+}
+
+func TestFullDupRatio(t *testing.T) {
+	spec := Small(200, 1.0)
+	g := NewGenerator(spec)
+	dup, total := chunkDupStats(g)
+	// At ratio 1.0 every chunk comes from the pool: at most PoolSize
+	// distinct chunks exist.
+	if total-dup > 64 {
+		t.Fatalf("distinct chunks %d exceed pool size", total-dup)
+	}
+}
+
+func TestZipfSkewsPopularity(t *testing.T) {
+	spec := Small(400, 1.0)
+	spec.Zipf = true
+	spec.PoolSize = 32
+	g := NewGenerator(spec)
+	counts := map[[20]byte]int{}
+	for i := 0; i < spec.NumFiles; i++ {
+		counts[sha1.Sum(g.FileData(i))]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	// Under Zipf(1.2) the hottest chunk should dominate far beyond the
+	// uniform expectation (400/32 = 12.5).
+	if max < 40 {
+		t.Fatalf("hottest chunk count %d; zipf skew missing", max)
+	}
+}
+
+func TestFileSizeNotPageMultiple(t *testing.T) {
+	spec := Spec{Name: "odd", FileSize: 10000, NumFiles: 3, DupRatio: 0.5, Seed: 7}
+	g := NewGenerator(spec)
+	for i := 0; i < 3; i++ {
+		if len(g.FileData(i)) != 10000 {
+			t.Fatalf("file %d size %d", i, len(g.FileData(i)))
+		}
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	if got := Large(100, 0).TotalBytes(); got != 100*128*1024 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+}
+
+func TestThink(t *testing.T) {
+	start := time.Now()
+	Think(2 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("Think returned after %v", elapsed)
+	}
+	Think(0)  // must not hang
+	Think(-1) // must not hang
+}
