@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build lint test race bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# lint = the compiler's vet plus DeNOVA's own persistence-ordering checks
+# (persistcheck, atomcheck, fencecheck — see internal/analysis).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/denova-vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,173 @@
+// Command denova-vet runs DeNOVA's persistence-ordering static checks
+// (persistcheck, atomcheck, fencecheck — see internal/analysis) over the
+// repository.
+//
+// Standalone usage (the mode CI uses):
+//
+//	go run ./cmd/denova-vet ./...
+//	go run ./cmd/denova-vet -list
+//	go run ./cmd/denova-vet -check persistcheck ./internal/nova
+//
+// It exits 1 when any diagnostic survives (suppress intentional patterns
+// with the //denova:persist-ok directive), and 0 on a clean tree.
+//
+// The binary also answers the `go vet -vettool` probe protocol (-V=full,
+// -flags, and a unit .cfg file) on a best-effort basis, so
+// `go vet -vettool=$(which denova-vet) ./...` works without x/tools:
+// diagnostics go to stderr and the exit status is non-zero when any fire.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"denova/internal/analysis"
+)
+
+func main() {
+	// `go vet -vettool` probes: version stamp, then flag enumeration, then
+	// one run per package with a JSON .cfg argument.
+	if len(os.Args) == 2 {
+		switch {
+		case strings.HasPrefix(os.Args[1], "-V"):
+			fmt.Println("denova-vet version 1")
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(runVetCfg(os.Args[1]))
+		}
+	}
+
+	var (
+		list   = flag.Bool("list", false, "list the available checks and exit")
+		checks = flag.String("check", "", "comma-separated subset of checks to run (default: all)")
+	)
+	flag.Parse()
+	if *list {
+		for _, c := range analysis.All {
+			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected, err := selectChecks(*checks)
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := analysis.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	bad := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range analysis.RunPackage(pkg, selected) {
+			fmt.Println(relativize(cwd, d))
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "denova-vet: %d diagnostic(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func selectChecks(names string) ([]*analysis.Check, error) {
+	if names == "" {
+		return nil, nil // all
+	}
+	var out []*analysis.Check
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, c := range analysis.All {
+			if c.Name == name {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown check %q (try -list)", name)
+		}
+	}
+	return out, nil
+}
+
+func relativize(cwd string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+// vetConfig is the subset of the `go vet` unit-checker config we consume.
+type vetConfig struct {
+	Dir     string
+	GoFiles []string
+}
+
+// runVetCfg handles one `go vet -vettool` invocation: analyze the package
+// whose files the cfg lists. Test files are skipped (the loader analyzes
+// non-test sources by directory). Exit 0 clean, 2 with findings, matching
+// the unit-checker convention.
+func runVetCfg(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(err)
+	}
+	dir := cfg.Dir
+	if dir == "" && len(cfg.GoFiles) > 0 {
+		dir = filepath.Dir(cfg.GoFiles[0])
+	}
+	if dir == "" {
+		return 0
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		// Outside the module (stdlib units etc.): nothing for us to check.
+		return 0
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.RunPackage(pkg, nil)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "denova-vet:", err)
+	os.Exit(1)
+}

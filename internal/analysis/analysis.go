@@ -1,0 +1,241 @@
+// Package analysis implements DeNOVA's persistence-ordering static checks.
+//
+// Every correctness argument in the paper reduces to "which 64 B lines are
+// durable at the crash point", so the write paths must follow a strict
+// store→flush→fence discipline on the pmem.Device. These passes verify that
+// discipline at build time, complementing the runtime pmem.ShadowTracker:
+//
+//	persistcheck  a function that performs cached device stores (Write,
+//	              Store64, CAS64, Add64) must also flush them (Flush,
+//	              Persist, PersistStore64) before returning — and the last
+//	              store must not follow the last flush.
+//	atomcheck     a hand-rolled Store64+Persist/Flush of the same 8-byte
+//	              word should be the atomic PersistStore64 (torn-commit
+//	              hazard if the pair ever diverges).
+//	fencecheck    a Fence with no preceding flush orders nothing; two
+//	              identical flushes with no intervening store waste a
+//	              media write.
+//
+// False positives are suppressed with a line or function comment directive:
+//
+//	//denova:persist-ok <reason>
+//
+// On the line of (or the line above) a diagnostic it suppresses that line;
+// in a function's doc comment it suppresses the whole function. The reason
+// text is required by convention: the directive documents WHY the callers,
+// not this function, persist the stored lines.
+//
+// The passes are AST+types based (standard library only — the build image
+// carries no golang.org/x/tools) and deliberately flow-insensitive: they
+// compare source positions, not CFG paths. That is exact for the
+// straight-line store/flush sequences the persistence paths use, and the
+// directive handles the rest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Directive is the suppression comment prefix honored by all checks.
+const Directive = "//denova:persist-ok"
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+}
+
+// Check is a single analysis pass.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(pkg *Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// All lists every check, in the order they run.
+var All = []*Check{Persistcheck, Atomcheck, Fencecheck}
+
+// RunPackage executes the given checks (nil = All) on a loaded package and
+// returns the surviving diagnostics sorted by position, with directive
+// suppression applied.
+func RunPackage(pkg *Package, checks []*Check) []Diagnostic {
+	if checks == nil {
+		checks = All
+	}
+	sup := collectSuppressions(pkg)
+	var diags []Diagnostic
+	for _, c := range checks {
+		report := func(pos token.Pos, format string, args ...any) {
+			p := pkg.Fset.Position(pos)
+			if sup.suppressed(p) {
+				return
+			}
+			diags = append(diags, Diagnostic{Pos: p, Check: c.Name, Message: fmt.Sprintf(format, args...)})
+		}
+		c.Run(pkg, report)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Check < diags[j].Check
+	})
+	return diags
+}
+
+// suppressions records which source lines and line ranges the directive
+// covers.
+type suppressions struct {
+	lines map[string]map[int]bool // filename -> suppressed lines
+	spans map[string][][2]int     // filename -> [start,end] line ranges
+}
+
+func (s *suppressions) suppressed(p token.Position) bool {
+	if s.lines[p.Filename][p.Line] {
+		return true
+	}
+	for _, sp := range s.spans[p.Filename] {
+		if p.Line >= sp[0] && p.Line <= sp[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func isDirective(c *ast.Comment) bool {
+	return strings.HasPrefix(c.Text, Directive) &&
+		(len(c.Text) == len(Directive) || c.Text[len(Directive)] == ' ')
+}
+
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{
+		lines: make(map[string]map[int]bool),
+		spans: make(map[string][][2]int),
+	}
+	mark := func(p token.Position, line int) {
+		m := s.lines[p.Filename]
+		if m == nil {
+			m = make(map[int]bool)
+			s.lines[p.Filename] = m
+		}
+		m[line] = true
+	}
+	for _, f := range pkg.Files {
+		// A directive comment suppresses its own line and the next one
+		// (comment-above-statement style).
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !isDirective(c) {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				mark(p, p.Line)
+				mark(p, p.Line+1)
+			}
+		}
+		// A directive in a function's doc comment suppresses the function.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if isDirective(c) {
+					start := pkg.Fset.Position(fd.Pos())
+					end := pkg.Fset.Position(fd.End())
+					s.spans[start.Filename] = append(s.spans[start.Filename], [2]int{start.Line, end.Line})
+					break
+				}
+			}
+		}
+	}
+	return s
+}
+
+// --- pmem.Device call classification ---
+
+const devicePkgPath = "denova/internal/pmem"
+
+// Device method classes. WriteNT is durable on its own (non-temporal
+// stores persist line by line), so it is a flushKind, not a storeKind.
+var (
+	storeMethods = map[string]bool{"Write": true, "Store64": true, "CAS64": true, "Add64": true}
+	flushMethods = map[string]bool{"Flush": true, "Persist": true, "PersistStore64": true, "WriteNT": true}
+)
+
+// deviceCall resolves a call expression to a pmem.Device method name via the
+// type checker. Returns ok=false for anything else (including same-named
+// methods on other types: csv.Writer.Write, bufio.Writer.Flush, nova.FS.Write).
+func deviceCall(info *types.Info, call *ast.CallExpr) (name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := s.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Device" || obj.Pkg() == nil || obj.Pkg().Path() != devicePkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// funcScope is one function or function-literal body to analyze.
+type funcScope struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// functionsOf yields every function and function literal in the package.
+func functionsOf(pkg *Package) []funcScope {
+	var out []funcScope
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, funcScope{name: fn.Name.Name, body: fn.Body})
+				}
+			case *ast.FuncLit:
+				out = append(out, funcScope{name: "func literal", body: fn.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectShallow walks body without descending into nested function
+// literals: a closure is its own persistence scope.
+func inspectShallow(body *ast.BlockStmt, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(n)
+	})
+}

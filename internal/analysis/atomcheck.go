@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomcheck flags hand-rolled Store64(off, v) … Persist(off, 8) (or
+// Flush(off, 8)) sequences in the same statement block. An 8-byte commit
+// word must go durable through the single PersistStore64 primitive: the
+// paper's consistency argument (§II-A, §IV-C) rests on the store and its
+// persist being one atomic unit, and a pair that drifts apart during a
+// refactor — an early return, a new store slipped between them — reopens
+// the torn-commit window this check exists to close.
+var Atomcheck = &Check{
+	Name: "atomcheck",
+	Doc:  "flag Store64+Flush/Persist pairs on one 8-byte word that should be PersistStore64",
+	Run:  runAtomcheck,
+}
+
+func runAtomcheck(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, fn := range functionsOf(pkg) {
+		inspectShallow(fn.body, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkBlockAtom(pkg, block, report)
+			return true
+		})
+	}
+}
+
+func checkBlockAtom(pkg *Package, block *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	for i, stmt := range block.List {
+		store, off := store64Stmt(pkg.Info, stmt)
+		if store == nil {
+			continue
+		}
+		for _, later := range block.List[i+1:] {
+			call, name := flushStmt(pkg.Info, later)
+			if call == nil {
+				// A nested block/branch between the pair hides the flow;
+				// stay conservative and stop matching this store.
+				if _, isExpr := later.(*ast.ExprStmt); !isExpr {
+					break
+				}
+				continue
+			}
+			if (name == "Persist" || name == "Flush") && len(call.Args) == 2 &&
+				isIntLiteral(call.Args[1], "8") &&
+				types.ExprString(call.Args[0]) == types.ExprString(off) {
+				report(store.Pos(),
+					"hand-rolled Store64+%s on the 8-byte word %s; use PersistStore64 so the commit store and its persist cannot be torn apart",
+					name, types.ExprString(off))
+				break
+			}
+		}
+	}
+}
+
+// store64Stmt returns the call and offset argument when stmt is a bare
+// `dev.Store64(off, v)` expression statement.
+func store64Stmt(info *types.Info, stmt ast.Stmt) (*ast.CallExpr, ast.Expr) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil, nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil, nil
+	}
+	if name, ok := deviceCall(info, call); !ok || name != "Store64" {
+		return nil, nil
+	}
+	return call, call.Args[0]
+}
+
+// flushStmt returns the device call and method name when stmt is a bare
+// device-method expression statement, or (nil, "") otherwise.
+func flushStmt(info *types.Info, stmt ast.Stmt) (*ast.CallExpr, string) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil, ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	name, ok := deviceCall(info, call)
+	if !ok {
+		return nil, ""
+	}
+	return call, name
+}
+
+func isIntLiteral(e ast.Expr, text string) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == text
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Fencecheck flags two flush-ordering smells:
+//
+//  1. fence-without-flush: a Fence() with no flush-class call (Flush,
+//     Persist, PersistStore64, WriteNT) anywhere before it in the function.
+//     A fence orders prior flushes; with none, it only burns its overhead.
+//  2. double-flush: two Flush/Persist calls with identical arguments in the
+//     same statement block with no device store between them — the second
+//     flushes lines that are already durable, a pure media-latency waste
+//     (the runtime ShadowTracker counts these as RedundantFlushLines).
+var Fencecheck = &Check{
+	Name: "fencecheck",
+	Doc:  "flag Fence with no preceding flush, and back-to-back flushes of untouched lines",
+	Run:  runFencecheck,
+}
+
+func runFencecheck(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, fn := range functionsOf(pkg) {
+		checkFenceWithoutFlush(pkg, fn, report)
+		inspectShallow(fn.body, func(n ast.Node) bool {
+			if block, ok := n.(*ast.BlockStmt); ok {
+				checkDoubleFlush(pkg, block, report)
+			}
+			return true
+		})
+	}
+}
+
+func checkFenceWithoutFlush(pkg *Package, fn funcScope, report func(pos token.Pos, format string, args ...any)) {
+	firstFlush := token.Pos(-1)
+	var fences []token.Pos
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := deviceCall(pkg.Info, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case name == "Fence":
+			fences = append(fences, call.Pos())
+		case flushMethods[name]:
+			if firstFlush < 0 || call.Pos() < firstFlush {
+				firstFlush = call.Pos()
+			}
+		}
+		return true
+	})
+	for _, p := range fences {
+		if firstFlush < 0 || p < firstFlush {
+			report(p, "%s: Fence with no preceding Flush/Persist in this function orders nothing", fn.name)
+		}
+	}
+}
+
+func checkDoubleFlush(pkg *Package, block *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	lastFlush := "" // rendered "name(args)" of the previous uninvalidated flush
+	for _, stmt := range block.List {
+		call, name := flushStmt(pkg.Info, stmt)
+		if call == nil {
+			// Any non-trivial statement (branch, loop, assignment with
+			// calls…) may re-dirty the lines; reset conservatively.
+			lastFlush = ""
+			continue
+		}
+		switch {
+		case name == "Flush" || name == "Persist":
+			key := name + "|" + renderArgs(call)
+			// Persist(x) repeats Flush(x)'s work; compare the range only.
+			rangeKey := renderArgs(call)
+			if lastFlush != "" && strings.SplitN(lastFlush, "|", 2)[1] == rangeKey {
+				report(call.Pos(),
+					"redundant flush: range (%s) was already flushed by the preceding %s with no store in between",
+					rangeKey, strings.SplitN(lastFlush, "|", 2)[0])
+			}
+			lastFlush = key
+		case storeMethods[name] || name == "WriteNT" || name == "PersistStore64":
+			lastFlush = ""
+		case name == "Fence":
+			// Fence does not touch line state; the previous flush remains
+			// the last one.
+		default:
+			lastFlush = ""
+		}
+	}
+}
+
+func renderArgs(call *ast.CallExpr) string {
+	parts := make([]string, len(call.Args))
+	for i, a := range call.Args {
+		parts[i] = types.ExprString(a)
+	}
+	return strings.Join(parts, ", ")
+}

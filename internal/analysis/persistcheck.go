@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Persistcheck flags functions that perform cached stores on a pmem.Device
+// and can return without a flush covering them: either the function contains
+// no Flush/Persist/PersistStore64 at all, or its last store (in source
+// order) comes after its last flush. Dirty lines left behind at return are
+// invisible to crash reasoning — CrashDropDirty discards them, so any commit
+// record built on them is torn on recovery.
+var Persistcheck = &Check{
+	Name: "persistcheck",
+	Doc:  "flag pmem.Device cached stores with no covering Flush/Persist before return",
+	Run:  runPersistcheck,
+}
+
+func runPersistcheck(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, fn := range functionsOf(pkg) {
+		var (
+			lastStore     ast.Node
+			lastStoreName string
+			lastFlush     token.Pos = token.NoPos
+		)
+		inspectShallow(fn.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := deviceCall(pkg.Info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case storeMethods[name]:
+				if lastStore == nil || call.Pos() > lastStore.Pos() {
+					lastStore, lastStoreName = call, name
+				}
+			case flushMethods[name] && name != "WriteNT":
+				// WriteNT persists its own lines but says nothing about
+				// earlier cached stores, so it does not count as coverage.
+				if call.Pos() > lastFlush {
+					lastFlush = call.Pos()
+				}
+			}
+			return true
+		})
+		if lastStore == nil {
+			continue
+		}
+		if lastFlush == token.NoPos {
+			report(lastStore.Pos(),
+				"%s: cached store (%s) is never flushed in this function; the stored lines are lost on CrashDropDirty — add Flush/Persist or annotate the caller contract with %s",
+				fn.name, lastStoreName, Directive)
+			continue
+		}
+		if lastStore.Pos() > lastFlush {
+			report(lastStore.Pos(),
+				"%s: cached store (%s) follows the last Flush/Persist; it can reach return unflushed — move the flush after it or annotate with %s",
+				fn.name, lastStoreName, Directive)
+		}
+	}
+}

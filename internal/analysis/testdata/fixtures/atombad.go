@@ -1,0 +1,11 @@
+package fixtures
+
+import "denova/internal/pmem"
+
+// atomBad hand-rolls the atomic commit-word idiom. Exactly one atomcheck
+// diagnostic (the persist discipline itself is correct, so persistcheck
+// stays quiet).
+func atomBad(d *pmem.Device, off int64) {
+	d.Store64(off, 42)
+	d.Persist(off, 8)
+}

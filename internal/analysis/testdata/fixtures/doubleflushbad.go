@@ -1,0 +1,12 @@
+package fixtures
+
+import "denova/internal/pmem"
+
+// doubleFlushBad persists the same untouched range twice in a row; the
+// second flush is pure media-latency waste. Exactly one fencecheck
+// diagnostic.
+func doubleFlushBad(d *pmem.Device) {
+	d.Write(0, make([]byte, 64))
+	d.Persist(0, 64)
+	d.Persist(0, 64)
+}

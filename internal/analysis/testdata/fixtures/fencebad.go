@@ -1,0 +1,10 @@
+package fixtures
+
+import "denova/internal/pmem"
+
+// fenceBad fences before anything was flushed: the fence orders nothing.
+// Exactly one fencecheck diagnostic.
+func fenceBad(d *pmem.Device) {
+	d.Fence()
+	d.WriteNT(0, make([]byte, 64))
+}

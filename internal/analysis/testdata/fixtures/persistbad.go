@@ -1,0 +1,14 @@
+// Package fixtures holds known-bad persistence patterns for the analysis
+// pass unit tests. Each file must trigger exactly one diagnostic of the
+// check named in its filename. The package lives under testdata so the
+// normal build never compiles it; the analysis loader type-checks it from
+// source.
+package fixtures
+
+import "denova/internal/pmem"
+
+// persistBad stores a commit word and returns without any flush: the store
+// evaporates on CrashDropDirty. Exactly one persistcheck diagnostic.
+func persistBad(d *pmem.Device) {
+	d.Store64(0, 1)
+}

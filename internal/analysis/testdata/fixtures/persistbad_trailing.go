@@ -1,0 +1,12 @@
+package fixtures
+
+import "denova/internal/pmem"
+
+// persistBadTrailing flushes early but performs another cached store after
+// the last Persist: the trailing store reaches return unflushed. Exactly one
+// persistcheck diagnostic.
+func persistBadTrailing(d *pmem.Device) {
+	d.Write(0, make([]byte, 64))
+	d.Persist(0, 64)
+	d.Store64(64, 7)
+}

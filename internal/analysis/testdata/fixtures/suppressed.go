@@ -1,0 +1,23 @@
+package fixtures
+
+import "denova/internal/pmem"
+
+// suppressedLine demonstrates line-level suppression: the unflushed store is
+// intentional (the caller persists the whole region afterwards).
+func suppressedLine(d *pmem.Device) {
+	d.Store64(0, 1) //denova:persist-ok caller persists the enclosing region
+}
+
+//denova:persist-ok whole function stages stores for a caller-side persist
+func suppressedFunc(d *pmem.Device) {
+	d.Store64(8, 2)
+	d.Store64(16, 3)
+}
+
+// suppressedAbove demonstrates the comment-above-statement form: the
+// directive covers the flagged Store64 on the next line.
+func suppressedAbove(d *pmem.Device, off int64) {
+	//denova:persist-ok deliberate two-step pair, kept split for crash tests
+	d.Store64(off, 9)
+	d.Persist(off, 8)
+}

@@ -1,0 +1,126 @@
+package dedup
+
+import (
+	"fmt"
+	"testing"
+
+	"denova/internal/nova"
+	"denova/internal/pmem"
+)
+
+// fsckAfterRecovery finishes deduplication on a recovered rig and then runs
+// the full NOVA fsck with the FACT answering block-ownership queries — the
+// cross-layer consistency check: every block is either file-mapped, FACT-held
+// (RFC or in-flight UC), or free, with no overlap and no leak.
+func fsckAfterRecovery(t *testing.T, r *rig, tag string) {
+	t.Helper()
+	if err := r.table.CheckInvariants(); err != nil {
+		t.Fatalf("%s: FACT invariants: %v", tag, err)
+	}
+	r.engine.Drain()
+	if err := r.fs.Fsck(func(b uint64) bool {
+		idx, ok := r.table.DeletePtr(b)
+		return ok && (r.table.RFC(idx) > 0 || r.table.UC(idx) > 0)
+	}); err != nil {
+		t.Fatalf("%s: fsck after recovery+drain: %v", tag, err)
+	}
+}
+
+// TestCrashSweepModesFsckAfterDedup extends the §V-C sweep to the other two
+// points of the cache-survival lattice. CrashDropDirty (the systematic sweep
+// in dedup_test.go) keeps only what was explicitly flushed; here every crash
+// point is also replayed under CrashKeepDirty (every unflushed store
+// survives eviction) and CrashEvictRandom (each line survives with p=1/2),
+// and after recovery the whole device must pass nova.Fsck with the
+// FACT-aware block-ownership callback.
+func TestCrashSweepModesFsckAfterDedup(t *testing.T) {
+	t.Parallel()
+	base := buildCrashBase(t)
+	probe := base.Clone()
+	rp, _ := attachRig(t, probe)
+	start := probe.PersistOps()
+	rp.engine.Drain()
+	total := probe.PersistOps() - start
+	if total < 10 {
+		t.Fatalf("suspiciously few persist points: %d", total)
+	}
+
+	crashAt := func(k int64) *pmem.Device {
+		work := base.Clone()
+		rw, _ := attachRig(t, work)
+		work.SetCrashAfter(k)
+		if !pmem.RunToCrash(func() { rw.engine.Drain() }) {
+			t.Fatalf("k=%d: expected crash (total=%d)", k, total)
+		}
+		return work
+	}
+
+	t.Run("KeepDirty", func(t *testing.T) {
+		// Deterministic, so sweep every persist point: the image where all
+		// cached stores survived must recover as cleanly as the flushed-only
+		// one.
+		for k := int64(1); k <= total; k++ {
+			img := crashAt(k).CrashImage(pmem.CrashKeepDirty, 0)
+			rec, _ := attachRig(t, img)
+			verifyPostRecovery(t, rec, k)
+			fsckAfterRecovery(t, rec, fmt.Sprintf("keep-dirty k=%d", k))
+		}
+	})
+
+	t.Run("EvictRandom", func(t *testing.T) {
+		// Randomized survival: sample the sweep and try several seeds per
+		// point to keep the runtime bounded.
+		step := total/17 + 1
+		for k := int64(1); k <= total; k += step {
+			for seed := int64(0); seed < 3; seed++ {
+				img := crashAt(k).CrashImage(pmem.CrashEvictRandom, seed*7919+k)
+				rec, _ := attachRig(t, img)
+				verifyPostRecovery(t, rec, k)
+				fsckAfterRecovery(t, rec, fmt.Sprintf("evict-random k=%d seed=%d", k, seed))
+			}
+		}
+	})
+}
+
+// TestCrashSweepReclaimKeepDirty replays the page-reclamation crash sweep
+// (overwrite of a shared deduplicated block) under CrashKeepDirty and checks
+// the shared block's other reference plus a full fsck.
+func TestCrashSweepReclaimKeepDirty(t *testing.T) {
+	t.Parallel()
+	build := func() *pmem.Device {
+		r := newRig(t)
+		r.write(t, "a", pages(1, 2))
+		r.write(t, "b", pages(1, 2))
+		r.engine.Drain()
+		return r.dev
+	}
+	op := func(r *rig) {
+		in, err := r.fs.Lookup("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.fs.Write(in, 0, pages(8, 9), nova.FlagNeeded)
+		r.engine.Drain()
+	}
+	probe := build()
+	rp, _ := attachRig(t, probe)
+	start := probe.PersistOps()
+	op(rp)
+	total := probe.PersistOps() - start
+
+	for k := int64(1); k <= total; k++ {
+		work := build()
+		rw, _ := attachRig(t, work)
+		work.SetCrashAfter(k)
+		if !pmem.RunToCrash(func() { op(rw) }) {
+			t.Fatalf("k=%d: expected crash (total=%d)", k, total)
+		}
+		img := work.CrashImage(pmem.CrashKeepDirty, 0)
+		rec, _ := attachRig(t, img)
+		wantB := pages(1, 2)
+		if got := rec.read(t, "b", len(wantB)); string(got) != string(wantB) {
+			t.Fatalf("k=%d: shared data lost under keep-dirty", k)
+		}
+		fsckAfterRecovery(t, rec, fmt.Sprintf("reclaim keep-dirty k=%d", k))
+	}
+}

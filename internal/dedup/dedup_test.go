@@ -99,6 +99,7 @@ func pages(seeds ...byte) []byte {
 // --- Fingerprints ---
 
 func TestStrongFingerprintDeterministic(t *testing.T) {
+	t.Parallel()
 	a := Strong(pages(1))
 	b := Strong(pages(1))
 	c := Strong(pages(2))
@@ -111,6 +112,7 @@ func TestStrongFingerprintDeterministic(t *testing.T) {
 }
 
 func TestWeakFingerprint(t *testing.T) {
+	t.Parallel()
 	if Weak(pages(1)) == Weak(pages(2)) {
 		t.Fatal("weak fingerprint collision on trivially different data")
 	}
@@ -122,6 +124,7 @@ func TestWeakFingerprint(t *testing.T) {
 // --- DWQ ---
 
 func TestDWQFIFO(t *testing.T) {
+	t.Parallel()
 	q := NewDWQ()
 	for i := uint64(1); i <= 5; i++ {
 		q.Enqueue(Node{Ino: i})
@@ -155,6 +158,7 @@ func TestDWQLingerHook(t *testing.T) {
 }
 
 func TestDWQBatchSurvivesConcurrentEnqueues(t *testing.T) {
+	t.Parallel()
 	// Regression: DequeueBatch must copy nodes out. Returning a sub-slice
 	// of the backing array let concurrent enqueues (after the queue reset
 	// its head) overwrite a batch the consumer was still iterating,
@@ -193,6 +197,7 @@ func TestDWQBatchSurvivesConcurrentEnqueues(t *testing.T) {
 }
 
 func TestDWQSaveRestore(t *testing.T) {
+	t.Parallel()
 	dev := pmem.New(1<<20, pmem.ProfileZero)
 	q := NewDWQ()
 	for i := uint64(1); i <= 10; i++ {
@@ -216,6 +221,7 @@ func TestDWQSaveRestore(t *testing.T) {
 }
 
 func TestDWQSaveOverflow(t *testing.T) {
+	t.Parallel()
 	dev := pmem.New(1<<20, pmem.ProfileZero)
 	q := NewDWQ()
 	capacity := (pmem.PageSize - dwqHdrSize) / dwqRecordSize
@@ -229,6 +235,7 @@ func TestDWQSaveOverflow(t *testing.T) {
 }
 
 func TestDWQRestoreRejectsGarbage(t *testing.T) {
+	t.Parallel()
 	dev := pmem.New(1<<20, pmem.ProfileZero)
 	q := NewDWQ()
 	if _, err := q.Restore(dev, 0, 1); err == nil {
@@ -244,6 +251,7 @@ func TestDWQRestoreRejectsGarbage(t *testing.T) {
 }
 
 func TestInvalidateSnapshot(t *testing.T) {
+	t.Parallel()
 	dev := pmem.New(1<<20, pmem.ProfileZero)
 	q := NewDWQ()
 	q.Enqueue(Node{Ino: 1})
@@ -257,6 +265,7 @@ func TestInvalidateSnapshot(t *testing.T) {
 // --- Offline engine (Algorithm 1) ---
 
 func TestDedupAcrossFiles(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	data := pages(1, 2, 3)
 	r.write(t, "a", data)
@@ -297,6 +306,7 @@ func TestDedupAcrossFiles(t *testing.T) {
 }
 
 func TestDedupWithinOneWrite(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	data := pages(7, 7, 7, 8) // three identical pages + one unique
 	r.write(t, "f", data)
@@ -322,6 +332,7 @@ func TestDedupWithinOneWrite(t *testing.T) {
 }
 
 func TestDedupSkipsShadowedPages(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	r.write(t, "f", pages(1, 2))
 	in, _ := r.fs.Lookup("f")
@@ -341,6 +352,7 @@ func TestDedupSkipsShadowedPages(t *testing.T) {
 }
 
 func TestDedupSkipsDeletedFile(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	r.write(t, "f", pages(1))
 	if err := r.fs.Delete("f"); err != nil {
@@ -356,6 +368,7 @@ func TestDedupSkipsDeletedFile(t *testing.T) {
 }
 
 func TestReprocessingIsIdempotent(t *testing.T) {
+	t.Parallel()
 	// Inconsistency Handling III: re-enqueueing an already-processed entry
 	// must not change RFCs or mappings.
 	r := newRig(t)
@@ -387,6 +400,7 @@ func TestReprocessingIsIdempotent(t *testing.T) {
 }
 
 func TestSharedBlockSurvivesOneDelete(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	data := pages(5)
 	r.write(t, "a", data)
@@ -412,6 +426,7 @@ func TestSharedBlockSurvivesOneDelete(t *testing.T) {
 }
 
 func TestOverwriteSharedBlockCoW(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	data := pages(5)
 	r.write(t, "a", data)
@@ -433,6 +448,7 @@ func TestOverwriteSharedBlockCoW(t *testing.T) {
 // --- Inline engine ---
 
 func TestInlineDedupBasic(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	data := pages(1, 2, 1) // page 2 duplicates page 0
 	in, _ := r.fs.Create("f")
@@ -456,6 +472,7 @@ func TestInlineDedupBasic(t *testing.T) {
 }
 
 func TestInlineDedupAcrossWrites(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	a, _ := r.fs.Create("a")
 	b, _ := r.fs.Create("b")
@@ -476,6 +493,7 @@ func TestInlineDedupAcrossWrites(t *testing.T) {
 }
 
 func TestInlinePartialPageWrite(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	in, _ := r.fs.Create("f")
 	if err := r.engine.WriteInline(in, 0, pages(1)); err != nil {
@@ -492,6 +510,7 @@ func TestInlinePartialPageWrite(t *testing.T) {
 }
 
 func TestInlineUnalignedMultiPage(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	in, _ := r.fs.Create("f")
 	base := pages(1, 2, 3)
@@ -566,6 +585,7 @@ func TestDaemonDrainSync(t *testing.T) {
 // --- Scrubber ---
 
 func TestScrubberReclaimsLeakedBlocks(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	data := pages(4)
 	r.write(t, "a", data)
@@ -664,6 +684,7 @@ func verifyPostRecovery(t *testing.T, r *rig, k int64) {
 }
 
 func TestCrashSweepDuringDedup(t *testing.T) {
+	t.Parallel()
 	// The centerpiece §V-C experiment: crash at EVERY persist point inside
 	// the deduplication transaction, recover, and verify consistency.
 	// Count the persist points first.
@@ -692,6 +713,7 @@ func TestCrashSweepDuringDedup(t *testing.T) {
 }
 
 func TestCrashSweepDuringDedupWithEviction(t *testing.T) {
+	t.Parallel()
 	// Same sweep but with random cache-line eviction at the crash: stores
 	// that were never flushed may still persist. Recovery must hold.
 	base := buildCrashBase(t)
@@ -718,6 +740,7 @@ func TestCrashSweepDuringDedupWithEviction(t *testing.T) {
 }
 
 func TestCrashSweepDuringReclaim(t *testing.T) {
+	t.Parallel()
 	// §V-C "Failures during Page Reclamation": crash at every persist point
 	// of an overwrite that reclaims a shared deduplicated block.
 	build := func() *pmem.Device {
@@ -786,6 +809,7 @@ func TestCrashSweepDuringReclaim(t *testing.T) {
 }
 
 func TestRecoveryRebuildsDWQFromFlags(t *testing.T) {
+	t.Parallel()
 	dev := buildCrashBase(t) // two entries flagged dedupe_needed, dirty
 	img := dev.CrashImage(pmem.CrashDropDirty, 0)
 	r, rep := attachRig(t, img)
@@ -802,6 +826,7 @@ func TestRecoveryRebuildsDWQFromFlags(t *testing.T) {
 }
 
 func TestCleanUnmountRestoresDWQSnapshot(t *testing.T) {
+	t.Parallel()
 	dev := pmem.New(testDevSize, pmem.ProfileZero)
 	fs, _ := nova.Mkfs(dev, 64)
 	table := fact.New(dev, fact.Config{
@@ -834,6 +859,7 @@ func TestCleanUnmountRestoresDWQSnapshot(t *testing.T) {
 // --- Interplay with NOVA's thorough GC ---
 
 func TestThoroughGCKeepsDedupWorking(t *testing.T) {
+	t.Parallel()
 	// An entry awaiting dedup is relocated by a log compaction: the stale
 	// DWQ node must be skipped, the re-enqueued one processed, and the
 	// duplicate still collapsed.
@@ -912,6 +938,7 @@ func TestDaemonScrubEvery(t *testing.T) {
 // TestEngineStatsAccounting sanity-checks the counters after a known
 // workload.
 func TestEngineStatsAccounting(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	r.write(t, "a", pages(1, 2)) // 2 unique
 	r.write(t, "b", pages(1, 3)) // 1 dup + 1 unique
@@ -930,6 +957,7 @@ func TestEngineStatsAccounting(t *testing.T) {
 
 // TestDWQPeakTracking verifies the DRAM high-water-mark counter.
 func TestDWQPeakTracking(t *testing.T) {
+	t.Parallel()
 	q := NewDWQ()
 	for i := uint64(1); i <= 5; i++ {
 		q.Enqueue(Node{Ino: i})

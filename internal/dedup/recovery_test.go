@@ -17,6 +17,7 @@ import (
 // durable change is the dequeued write entry still carrying dedupe_needed.
 // Recovery must re-enqueue it.
 func TestHandlingI_CrashBeforeFACTTouch(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	r.write(t, "a", pages(1))
 	r.write(t, "b", pages(1))
@@ -44,6 +45,7 @@ func TestHandlingI_CrashBeforeFACTTouch(t *testing.T) {
 // flags in_process) and before step ⑥ (UC→RFC). Recovery must transfer the
 // pending counts and complete the transaction without re-running it.
 func TestHandlingII_ResumeAfterLogCommit(t *testing.T) {
+	t.Parallel()
 	// Find the crash point where an in_process entry exists at recovery:
 	// sweep until the recovery report shows Resumed > 0 — the paper's
 	// exact window.
@@ -96,6 +98,7 @@ func TestHandlingII_ResumeAfterLogCommit(t *testing.T) {
 // TestReprocessingIsIdempotent; here we confirm the recovery report counts
 // such re-enqueued entries as Requeued, not Resumed.
 func TestHandlingIII_RequeuedNotResumed(t *testing.T) {
+	t.Parallel()
 	r := newRig(t)
 	r.write(t, "solo", pages(9, 9)) // intra-file duplicate
 	node := r.engine.DWQ().DequeueBatch(0)[0]
@@ -125,6 +128,7 @@ func TestHandlingIII_RequeuedNotResumed(t *testing.T) {
 // write (the DENOVA-Inline baseline must be crash-consistent too: its
 // transactions use the same UC/RFC discipline).
 func TestInlineCrashSweep(t *testing.T) {
+	t.Parallel()
 	prep := func() *rig {
 		r := newRig(t)
 		in, err := r.fs.Create("base")
@@ -183,6 +187,7 @@ func TestInlineCrashSweep(t *testing.T) {
 // never run out of slots. (ErrTableFull is reachable only with a
 // mis-sized table; the fact package's own tests cover that path.)
 func TestFACTSizingGuarantee(t *testing.T) {
+	t.Parallel()
 	const numData = 64
 	dev := pmem.New(32<<20, pmem.ProfileZero)
 	table := fact.New(dev, fact.Config{

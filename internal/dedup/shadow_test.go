@@ -1,0 +1,108 @@
+package dedup
+
+import (
+	"bytes"
+	"testing"
+
+	"denova/internal/pmem"
+)
+
+// assertCheckpointClean fails the test when any line stored by the preceding
+// operation is still unflushed at the commit boundary.
+func assertCheckpointClean(t *testing.T, dev *pmem.Device, label string) {
+	t.Helper()
+	if n := dev.CheckpointClean(label); n != 0 {
+		for _, v := range dev.ShadowViolations() {
+			t.Log(v)
+		}
+		t.Fatalf("%s: %d line(s) unflushed at commit boundary", label, n)
+	}
+}
+
+// TestShadowTrackerCleanThroughDedupCycle runs the pmemcheck-style shadow
+// tracker across a full write -> dedup -> delete -> unmount -> remount ->
+// recover -> dedup cycle and requires a spotless ordering trace: no store
+// left unflushed at any commit boundary, no fence issued without flush work,
+// and no line flushed twice.
+func TestShadowTrackerCleanThroughDedupCycle(t *testing.T) {
+	t.Parallel()
+	r := newRig(t)
+	r.dev.EnableShadowTracker()
+
+	data := pages(1, 2, 3)
+	r.write(t, "a", data)
+	assertCheckpointClean(t, r.dev, "after write a")
+	r.write(t, "b", data)
+	assertCheckpointClean(t, r.dev, "after write b")
+
+	r.engine.Drain()
+	assertCheckpointClean(t, r.dev, "after dedup drain")
+
+	if err := r.fs.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	assertCheckpointClean(t, r.dev, "after delete a")
+	r.engine.ScrubNow()
+	assertCheckpointClean(t, r.dev, "after scrub")
+
+	// Queue one more duplicate so recovery has real work, snapshot the DWQ,
+	// and unmount cleanly.
+	r.write(t, "c", data)
+	assertCheckpointClean(t, r.dev, "after write c")
+	if saved, overflow := SaveDWQ(r.engine); saved != 1 || overflow {
+		t.Fatalf("saved=%d overflow=%v", saved, overflow)
+	}
+	assertCheckpointClean(t, r.dev, "after DWQ snapshot")
+	r.fs.Unmount()
+	assertCheckpointClean(t, r.dev, "after unmount")
+
+	// Remount the same device (tracker stays armed) and run full recovery.
+	r2, rep := attachRig(t, r.dev)
+	if !rep.RestoredFromSnapshot || rep.Requeued != 1 {
+		t.Fatalf("recovery report: %+v", rep)
+	}
+	assertCheckpointClean(t, r.dev, "after mount+recover")
+	r2.engine.Drain()
+	assertCheckpointClean(t, r.dev, "after post-recovery drain")
+
+	if !bytes.Equal(r2.read(t, "b", len(data)), data) || !bytes.Equal(r2.read(t, "c", len(data)), data) {
+		t.Fatal("content damaged across the cycle")
+	}
+
+	s := r.dev.Stats()
+	if s.UnflushedAtCheckpoint != 0 || s.FencesWithoutFlush != 0 || s.RedundantFlushLines != 0 {
+		for _, v := range r.dev.ShadowViolations() {
+			t.Log(v)
+		}
+		t.Fatalf("shadow counters not clean: unflushed=%d fencesWithoutFlush=%d redundantFlushLines=%d",
+			s.UnflushedAtCheckpoint, s.FencesWithoutFlush, s.RedundantFlushLines)
+	}
+}
+
+// TestShadowTrackerCleanAfterCrashRecovery checks the ordering discipline of
+// the recovery path itself: crash with the DWQ lost, remount the surviving
+// image with the tracker armed, and demand a clean trace through recovery
+// and the replayed deduplication.
+func TestShadowTrackerCleanAfterCrashRecovery(t *testing.T) {
+	t.Parallel()
+	base := buildCrashBase(t)
+	img := base.CrashImage(pmem.CrashDropDirty, 0)
+	img.EnableShadowTracker()
+
+	r, rep := attachRig(t, img)
+	if rep.Requeued != 2 {
+		t.Fatalf("requeued %d entries, want 2", rep.Requeued)
+	}
+	assertCheckpointClean(t, img, "after crash recovery")
+	r.engine.Drain()
+	assertCheckpointClean(t, img, "after recovered dedup drain")
+
+	s := img.Stats()
+	if s.UnflushedAtCheckpoint != 0 || s.FencesWithoutFlush != 0 || s.RedundantFlushLines != 0 {
+		for _, v := range img.ShadowViolations() {
+			t.Log(v)
+		}
+		t.Fatalf("shadow counters not clean: unflushed=%d fencesWithoutFlush=%d redundantFlushLines=%d",
+			s.UnflushedAtCheckpoint, s.FencesWithoutFlush, s.RedundantFlushLines)
+	}
+}

@@ -236,11 +236,12 @@ func (t *Table) delPtr(block uint64) uint64 {
 	return t.dev.Load64(t.entryOff(t.relBlock(block)) + feDelPtr)
 }
 
-// setDelPtr persists the delete pointer for block.
+// setDelPtr persists the delete pointer for block. The pointer is an 8-byte
+// commit word (recovery trusts it to find a block's owning entry), so it
+// goes durable through the atomic store-persist primitive.
 func (t *Table) setDelPtr(block, idx uint64) {
 	off := t.entryOff(t.relBlock(block))
-	t.dev.Store64(off+feDelPtr, idx)
-	t.dev.Persist(off+feDelPtr, 8)
+	t.dev.PersistStore64(off+feDelPtr, idx)
 }
 
 // DeletePtr exposes the delete-pointer lookup: the FACT entry index owning

@@ -53,6 +53,7 @@ func checkInv(t *testing.T, tab *Table) {
 }
 
 func TestPrefixOf(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	var fp FP
 	fp[0] = 0xFF
@@ -66,6 +67,7 @@ func TestPrefixOf(t *testing.T) {
 }
 
 func TestInsertUniqueAndCommit(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	fp := fpWithPrefix(5, 1)
 	res := mustBegin(t, tab, fp, tDataStart+3)
@@ -88,6 +90,7 @@ func TestInsertUniqueAndCommit(t *testing.T) {
 }
 
 func TestCommitTxnWithoutPendingUC(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	res := mustBegin(t, tab, fpWithPrefix(1, 1), tDataStart)
 	tab.CommitTxn(res.Idx)
@@ -97,6 +100,7 @@ func TestCommitTxnWithoutPendingUC(t *testing.T) {
 }
 
 func TestDuplicateDetection(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	fp := fpWithPrefix(9, 7)
 	a := mustBegin(t, tab, fp, tDataStart+1)
@@ -116,6 +120,7 @@ func TestDuplicateDetection(t *testing.T) {
 }
 
 func TestPrefixCollisionGoesToIAA(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	a := mustBegin(t, tab, fpWithPrefix(3, 1), tDataStart+1)
 	b := mustBegin(t, tab, fpWithPrefix(3, 2), tDataStart+2)
@@ -141,6 +146,7 @@ func TestPrefixCollisionGoesToIAA(t *testing.T) {
 }
 
 func TestWalkLenGrowsWithChain(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	for i := byte(1); i <= 4; i++ {
 		mustBegin(t, tab, fpWithPrefix(8, i), tDataStart+uint64(i))
@@ -152,6 +158,7 @@ func TestWalkLenGrowsWithChain(t *testing.T) {
 }
 
 func TestDecRefNoEntry(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	res := tab.DecRef(tDataStart + 30)
 	if res.HasEntry || !res.FreeBlock {
@@ -160,6 +167,7 @@ func TestDecRefNoEntry(t *testing.T) {
 }
 
 func TestDecRefLifecycle(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	fp := fpWithPrefix(4, 1)
 	a := mustBegin(t, tab, fp, tDataStart+4)
@@ -186,6 +194,7 @@ func TestDecRefLifecycle(t *testing.T) {
 }
 
 func TestDecRefKeepsBlockWhileTxnInFlight(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	fp := fpWithPrefix(7, 1)
 	a := mustBegin(t, tab, fp, tDataStart+7)
@@ -205,6 +214,7 @@ func TestDecRefKeepsBlockWhileTxnInFlight(t *testing.T) {
 }
 
 func TestRemoveMiddleOfChain(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	var blocks []uint64
 	for i := byte(1); i <= 3; i++ {
@@ -231,6 +241,7 @@ func TestRemoveMiddleOfChain(t *testing.T) {
 }
 
 func TestRemoveDAAHeadKeepsChainAnchored(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	a := mustBegin(t, tab, fpWithPrefix(6, 1), tDataStart+1)
 	tab.CommitTxn(a.Idx)
@@ -253,6 +264,7 @@ func TestRemoveDAAHeadKeepsChainAnchored(t *testing.T) {
 }
 
 func TestIAAExhaustion(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	// Fill the DAA slot and all 64 IAA slots with one prefix.
 	var err error
@@ -273,6 +285,7 @@ func TestIAAExhaustion(t *testing.T) {
 }
 
 func TestReorderChainByRFC(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	// Build chain: head(a) -> b -> c -> d with RFCs 1, 1, 3, 2.
 	type item struct {
@@ -311,6 +324,7 @@ func TestReorderChainByRFC(t *testing.T) {
 }
 
 func TestReorderNoopOnShortOrSortedChains(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	mustBegin(t, tab, fpWithPrefix(11, 1), tDataStart+1)
 	if tab.ReorderChain(11) {
@@ -323,6 +337,7 @@ func TestReorderNoopOnShortOrSortedChains(t *testing.T) {
 }
 
 func TestPendingReordersTriggerPolicy(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	tab.DepthThreshold = 2
 	tab.RFCThreshold = 2
@@ -351,6 +366,7 @@ func TestPendingReordersTriggerPolicy(t *testing.T) {
 }
 
 func TestReorderCrashSweep(t *testing.T) {
+	t.Parallel()
 	// Crash at every persist point inside ReorderChain; after recovery the
 	// chain must contain exactly the same entries, consistently linked.
 	build := func() (*pmem.Device, *Table, map[uint64]bool) {
@@ -411,6 +427,7 @@ func TestReorderCrashSweep(t *testing.T) {
 }
 
 func TestInsertCrashSweep(t *testing.T) {
+	t.Parallel()
 	// Crash at every persist point of a unique-chunk insert (including the
 	// IAA-collision path); recovery must always restore invariants, and the
 	// pre-existing entries must survive.
@@ -447,6 +464,7 @@ func TestInsertCrashSweep(t *testing.T) {
 }
 
 func TestZeroAllUCDropsUncommitted(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	a := mustBegin(t, tab, fpWithPrefix(1, 1), tDataStart+1) // never committed
 	b := mustBegin(t, tab, fpWithPrefix(2, 1), tDataStart+2)
@@ -468,6 +486,7 @@ func TestZeroAllUCDropsUncommitted(t *testing.T) {
 }
 
 func TestScrubDropsFreedBlocks(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	a := mustBegin(t, tab, fpWithPrefix(1, 1), tDataStart+1)
 	tab.CommitTxn(a.Idx)
@@ -484,6 +503,7 @@ func TestScrubDropsFreedBlocks(t *testing.T) {
 }
 
 func TestRecoverStructureRebuildsIAAFreeList(t *testing.T) {
+	t.Parallel()
 	dev, tab := newTable(t)
 	for i := byte(1); i <= 5; i++ { // head + 4 IAA
 		res := mustBegin(t, tab, fpWithPrefix(3, i), tDataStart+uint64(i))
@@ -499,6 +519,7 @@ func TestRecoverStructureRebuildsIAAFreeList(t *testing.T) {
 }
 
 func TestStatsCounters(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	fp := fpWithPrefix(5, 5)
 	a := mustBegin(t, tab, fp, tDataStart+5)
@@ -522,6 +543,7 @@ func TestStatsCounters(t *testing.T) {
 // Property: the table agrees with a reference map under random begin/commit/
 // decref streams, and invariants always hold.
 func TestPropertyFACTMatchesModel(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		_, tab := newTable(t)
@@ -618,6 +640,7 @@ func TestPropertyFACTMatchesModel(t *testing.T) {
 // reclaims — and checks structural invariants plus exact count accounting
 // afterwards.
 func TestConcurrentTxnAndDecRefStress(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	const workers = 6
 	const perWorker = 400
@@ -706,6 +729,7 @@ func TestConcurrentTxnAndDecRefStress(t *testing.T) {
 // that recovery restores a consistent chain with the surviving entries
 // findable.
 func TestRemoveCrashSweep(t *testing.T) {
+	t.Parallel()
 	build := func() (*pmem.Device, *Table) {
 		dev, tab := newTable(t)
 		for i := byte(1); i <= 4; i++ {
@@ -751,6 +775,7 @@ func TestRemoveCrashSweep(t *testing.T) {
 
 // TestAbortTxn covers the explicit abort path.
 func TestAbortTxn(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	res := mustBegin(t, tab, fpWithPrefix(9, 1), tDataStart+1)
 	if !tab.AbortTxn(res.Idx) {
@@ -766,6 +791,7 @@ func TestAbortTxn(t *testing.T) {
 
 // TestLookupReadOnly confirms Lookup finds entries without mutating counts.
 func TestLookupReadOnly(t *testing.T) {
+	t.Parallel()
 	_, tab := newTable(t)
 	res := mustBegin(t, tab, fpWithPrefix(8, 1), tDataStart+8)
 	tab.CommitTxn(res.Idx)

@@ -130,6 +130,9 @@ func TestCDFBasics(t *testing.T) {
 }
 
 func TestMeasureTfTwShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock fingerprint-cost comparison is meaningless under race instrumentation")
+	}
 	rows := MeasureTfTw([]int{4096, 65536}, 20, pmem.ProfileOptane)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))

@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in. Wall-clock
+// microbenchmark assertions are skipped under instrumentation, which slows
+// pure-Go code (the weak rolling hash) far more than the modelled latencies.
+const raceEnabled = true

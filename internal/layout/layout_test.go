@@ -6,6 +6,7 @@ import (
 )
 
 func TestRecordRoundTrip(t *testing.T) {
+	t.Parallel()
 	r := make(Record, 64)
 	r.PutU8(0, 0xAB)
 	r.PutU16(2, 0xBEEF)
@@ -17,6 +18,7 @@ func TestRecordRoundTrip(t *testing.T) {
 }
 
 func TestRecordBytes(t *testing.T) {
+	t.Parallel()
 	r := make(Record, 16)
 	copy(r.Bytes(4, 4), "abcd")
 	if string(r[4:8]) != "abcd" {
@@ -25,6 +27,7 @@ func TestRecordBytes(t *testing.T) {
 }
 
 func TestChecksumStableAndSensitive(t *testing.T) {
+	t.Parallel()
 	a := Checksum([]byte("denova"))
 	if a != Checksum([]byte("denova")) {
 		t.Fatal("checksum not deterministic")
@@ -38,6 +41,7 @@ func TestChecksumStableAndSensitive(t *testing.T) {
 }
 
 func TestAlign(t *testing.T) {
+	t.Parallel()
 	cases := []struct{ v, a, want int64 }{
 		{0, 64, 0}, {1, 64, 64}, {64, 64, 64}, {65, 64, 128},
 		{4095, 4096, 4096}, {4096, 4096, 4096},
@@ -50,6 +54,7 @@ func TestAlign(t *testing.T) {
 }
 
 func TestDivCeil(t *testing.T) {
+	t.Parallel()
 	cases := []struct{ a, b, want int64 }{
 		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8, 4, 2},
 	}
@@ -61,6 +66,7 @@ func TestDivCeil(t *testing.T) {
 }
 
 func TestLog2Ceil(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		v    int64
 		want int
@@ -75,6 +81,7 @@ func TestLog2Ceil(t *testing.T) {
 }
 
 func TestPropertyAlignIsAligned(t *testing.T) {
+	t.Parallel()
 	f := func(v uint32) bool {
 		a := Align(int64(v), 64)
 		return a%64 == 0 && a >= int64(v) && a-int64(v) < 64
@@ -85,6 +92,7 @@ func TestPropertyAlignIsAligned(t *testing.T) {
 }
 
 func TestPropertyLog2CeilBounds(t *testing.T) {
+	t.Parallel()
 	f := func(v uint16) bool {
 		x := int64(v)%100000 + 1
 		n := Log2Ceil(x)

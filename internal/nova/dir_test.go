@@ -10,6 +10,7 @@ import (
 )
 
 func TestMkdirAndNestedCreate(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	if _, err := fs.Mkdir("a"); err != nil {
 		t.Fatal(err)
@@ -42,6 +43,7 @@ func TestMkdirAndNestedCreate(t *testing.T) {
 }
 
 func TestPathValidation(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	fs.Mkdir("d")
 	cases := []struct {
@@ -68,6 +70,7 @@ func TestPathValidation(t *testing.T) {
 }
 
 func TestCreateThroughFileFails(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	writeFileT(t, fs, "plain", patternData(10, 1))
 	if _, err := fs.Create("plain/child"); err == nil {
@@ -79,6 +82,7 @@ func TestCreateThroughFileFails(t *testing.T) {
 }
 
 func TestDeleteDirRejected(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	fs.Mkdir("d")
 	if err := fs.Delete("d"); err != ErrIsDir {
@@ -93,6 +97,7 @@ func TestDeleteDirRejected(t *testing.T) {
 }
 
 func TestRmdirNonEmpty(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	fs.Mkdir("d")
 	writeFileT(t, fs, "d/f", patternData(10, 1))
@@ -111,6 +116,7 @@ func TestRmdirNonEmpty(t *testing.T) {
 }
 
 func TestRmdirOnFileRejected(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	writeFileT(t, fs, "f", patternData(10, 1))
 	if err := fs.Rmdir("f"); err != ErrNotDir {
@@ -119,6 +125,7 @@ func TestRmdirOnFileRejected(t *testing.T) {
 }
 
 func TestDeepTreeSurvivesRemount(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	path := ""
 	for d := 0; d < 6; d++ {
@@ -160,6 +167,7 @@ func TestDeepTreeSurvivesRemount(t *testing.T) {
 }
 
 func TestDeepTreeSurvivesCrash(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	fs.Mkdir("x")
 	fs.Mkdir("x/y")
@@ -180,6 +188,7 @@ func TestDeepTreeSurvivesCrash(t *testing.T) {
 }
 
 func TestOrphanSubtreeReclaimedOnRecovery(t *testing.T) {
+	t.Parallel()
 	// Crash in the middle of Mkdir at every persist point: the directory
 	// either exists (and is usable) or is fully reclaimed — including when
 	// the inode landed but the dentry did not.
@@ -235,6 +244,7 @@ func TestOrphanSubtreeReclaimedOnRecovery(t *testing.T) {
 }
 
 func TestManyDirsManyFiles(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	for d := 0; d < 10; d++ {
 		dir := fmt.Sprintf("dir%d", d)

@@ -45,6 +45,7 @@ func verifySparse(t testing.TB, fs *FS, in *Inode, current [][]byte) {
 }
 
 func TestThoroughGCCompactsSparseLog(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in, current := buildSparseLog(t, fs, 200)
 	if fs.Stats().GCThorough == 0 {
@@ -67,6 +68,7 @@ func TestThoroughGCCompactsSparseLog(t *testing.T) {
 }
 
 func TestThoroughGCSurvivesRemount(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	in, current := buildSparseLog(t, fs, 200)
 	_ = in
@@ -86,6 +88,7 @@ func TestThoroughGCSurvivesRemount(t *testing.T) {
 }
 
 func TestThoroughGCSurvivesCrash(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	in, current := buildSparseLog(t, fs, 200)
 	_ = in
@@ -105,6 +108,7 @@ func TestThoroughGCSurvivesCrash(t *testing.T) {
 }
 
 func TestThoroughGCPreservesSizeFromTrailingHole(t *testing.T) {
+	t.Parallel()
 	// A file whose size comes from a grow-truncate (trailing hole) must
 	// keep that size across a compaction that drops the truncate entry's
 	// original log page.
@@ -136,6 +140,7 @@ func TestThoroughGCPreservesSizeFromTrailingHole(t *testing.T) {
 }
 
 func TestThoroughGCCrashSweep(t *testing.T) {
+	t.Parallel()
 	// Crash at every persist point of one explicit compaction: after
 	// recovery the file must be intact whether the head swap committed or
 	// not, and fsck must pass.
@@ -220,6 +225,7 @@ func TestThoroughGCCrashSweep(t *testing.T) {
 }
 
 func TestThoroughGCReenqueuesDedupeNeeded(t *testing.T) {
+	t.Parallel()
 	var enqueued []uint64
 	dev := pmem.New(testDevSize, pmem.ProfileZero)
 	fs, err := Mkfs(dev, 64, WithWriteHook(func(in *Inode, off uint64) {
@@ -251,6 +257,7 @@ func TestThoroughGCReenqueuesDedupeNeeded(t *testing.T) {
 }
 
 func TestFastGCVsThoroughInterplay(t *testing.T) {
+	t.Parallel()
 	// Mixed churn across several files with verification, exercising both
 	// GC tiers together.
 	_, fs := mkfsT(t)

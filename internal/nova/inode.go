@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"denova/internal/layout"
+	"denova/internal/pmem"
 	"denova/internal/rtree"
 )
 
@@ -105,7 +106,9 @@ func (fs *FS) writeInode(di diskInode) {
 // updateInodeSummary refreshes the mutable advisory fields of an already
 // valid inode (clean unmount). Each store is an atomic 8-byte persist, so
 // no torn record is possible and the checksum (which masks these fields)
-// stays valid.
+// stays valid. All mutable fields sit in the record's first cache line
+// (offsets 16..56), so only that line is flushed — persisting the full
+// 128 B record would flush the untouched second line for nothing.
 func (fs *FS) updateInodeSummary(in *Inode) {
 	off := fs.inodeOff(in.ino)
 	fs.Dev.Store64(off+inSize, in.size)
@@ -113,7 +116,7 @@ func (fs *FS) updateInodeSummary(in *Inode) {
 	fs.Dev.Store64(off+inMtime, in.mtime)
 	fs.Dev.Store64(off+inLogHead, in.logHead)
 	fs.Dev.Store64(off+inLogTail, in.logTail)
-	fs.Dev.Persist(off, InodeSize)
+	fs.Dev.Persist(off, pmem.CacheLineSize)
 }
 
 // inodeChecksum covers only the fields that are immutable after creation

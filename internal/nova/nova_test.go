@@ -56,6 +56,7 @@ func patternData(n int, seed byte) []byte {
 // --- Geometry & superblock ---
 
 func TestComputeGeometryInvariants(t *testing.T) {
+	t.Parallel()
 	for _, size := range []int64{8 << 20, 64 << 20, 256 << 20, 1 << 30} {
 		g, err := ComputeGeometry(size, 1024)
 		if err != nil {
@@ -86,6 +87,7 @@ func TestComputeGeometryInvariants(t *testing.T) {
 }
 
 func TestComputeGeometryTooSmall(t *testing.T) {
+	t.Parallel()
 	if _, err := ComputeGeometry(3*PageSize, 16); err == nil {
 		t.Fatal("expected error for tiny device")
 	}
@@ -95,6 +97,7 @@ func TestComputeGeometryTooSmall(t *testing.T) {
 }
 
 func TestSuperblockRoundTrip(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	g, epoch, err := readSuperblock(dev)
 	if err != nil {
@@ -109,6 +112,7 @@ func TestSuperblockRoundTrip(t *testing.T) {
 }
 
 func TestSuperblockCorruptionDetected(t *testing.T) {
+	t.Parallel()
 	dev, _ := mkfsT(t)
 	dev.WriteNT(sbNumData, []byte{0xFF}) // flip a geometry byte
 	if _, _, err := readSuperblock(dev); err == nil {
@@ -117,6 +121,7 @@ func TestSuperblockCorruptionDetected(t *testing.T) {
 }
 
 func TestMountUnformattedDevice(t *testing.T) {
+	t.Parallel()
 	dev := pmem.New(testDevSize, pmem.ProfileZero)
 	if _, _, err := Mount(dev); err == nil {
 		t.Fatal("mounting unformatted device succeeded")
@@ -126,6 +131,7 @@ func TestMountUnformattedDevice(t *testing.T) {
 // --- Allocator ---
 
 func TestAllocatorExhaustion(t *testing.T) {
+	t.Parallel()
 	a := NewAllocator(100, 10, 2)
 	got := map[uint64]bool{}
 	for i := 0; i < 10; i++ {
@@ -147,6 +153,7 @@ func TestAllocatorExhaustion(t *testing.T) {
 }
 
 func TestAllocatorContiguity(t *testing.T) {
+	t.Parallel()
 	a := NewAllocator(0, 64, 1)
 	b, err := a.Alloc(0, 16)
 	if err != nil {
@@ -162,6 +169,7 @@ func TestAllocatorContiguity(t *testing.T) {
 }
 
 func TestAllocatorCoalescing(t *testing.T) {
+	t.Parallel()
 	a := NewAllocator(0, 8, 1)
 	b, _ := a.Alloc(0, 8)
 	// Free in two halves, then allocate the full run again: requires merge.
@@ -173,6 +181,7 @@ func TestAllocatorCoalescing(t *testing.T) {
 }
 
 func TestAllocatorDoubleFreePanics(t *testing.T) {
+	t.Parallel()
 	a := NewAllocator(0, 8, 1)
 	b, _ := a.Alloc(0, 2)
 	a.Free(b, 2)
@@ -185,6 +194,7 @@ func TestAllocatorDoubleFreePanics(t *testing.T) {
 }
 
 func TestAllocatorStealing(t *testing.T) {
+	t.Parallel()
 	a := NewAllocator(0, 16, 4) // 4 blocks per shard
 	// Exhaust shard 0's region via hint 0, then keep allocating: must steal.
 	for i := 0; i < 16; i++ {
@@ -195,6 +205,7 @@ func TestAllocatorStealing(t *testing.T) {
 }
 
 func TestAllocatorFromBitmap(t *testing.T) {
+	t.Parallel()
 	used := make([]bool, 20)
 	for _, i := range []int{0, 3, 4, 5, 19} {
 		used[i] = true
@@ -223,6 +234,7 @@ func TestAllocatorFromBitmap(t *testing.T) {
 }
 
 func TestPropertyAllocatorNeverOverlaps(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		a := NewAllocator(0, 256, 3)
@@ -263,6 +275,7 @@ func TestPropertyAllocatorNeverOverlaps(t *testing.T) {
 // --- Entries ---
 
 func TestWriteEntryRoundTrip(t *testing.T) {
+	t.Parallel()
 	e := WriteEntry{DedupeFlag: FlagNeeded, NumPages: 7, PgOff: 42, Block: 9999, EndOff: 12345, Ino: 3, Mtime: 88, Seq: 77}
 	rec := encodeWriteEntry(e)
 	got, err := decodeWriteEntry(rec)
@@ -275,6 +288,7 @@ func TestWriteEntryRoundTrip(t *testing.T) {
 }
 
 func TestWriteEntryCsumCoversDataButNotFlag(t *testing.T) {
+	t.Parallel()
 	rec := encodeWriteEntry(WriteEntry{NumPages: 1, Block: 5, Ino: 2})
 	// Mutating the flag must NOT break the checksum (it is updated in place).
 	rec.PutU8(weFlag, FlagComplete)
@@ -289,6 +303,7 @@ func TestWriteEntryCsumCoversDataButNotFlag(t *testing.T) {
 }
 
 func TestDentryRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, d := range []Dentry{
 		{Ino: 5, Name: "a"},
 		{Ino: 6, Name: "exactly-forty-eight-bytes-long-name-for-test-00"},
@@ -309,6 +324,7 @@ func TestDentryRoundTrip(t *testing.T) {
 }
 
 func TestDentryNameTooLong(t *testing.T) {
+	t.Parallel()
 	_, err := encodeDentry(Dentry{Ino: 1, Name: string(make([]byte, MaxNameLen+1))})
 	if err == nil {
 		t.Fatal("oversized name accepted")
@@ -319,6 +335,7 @@ func TestDentryNameTooLong(t *testing.T) {
 }
 
 func TestSetDedupeFlagPersistent(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	in := writeFileT(t, fs, "f", patternData(100, 1))
 	_, entryOff, _ := in.Mapping(0)
@@ -332,6 +349,7 @@ func TestSetDedupeFlagPersistent(t *testing.T) {
 // --- Basic file I/O ---
 
 func TestWriteReadSmall(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	data := patternData(100, 3)
 	in := writeFileT(t, fs, "small", data)
@@ -344,6 +362,7 @@ func TestWriteReadSmall(t *testing.T) {
 }
 
 func TestWriteReadMultiPage(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	data := patternData(3*PageSize+123, 5)
 	in := writeFileT(t, fs, "big", data)
@@ -356,6 +375,7 @@ func TestWriteReadMultiPage(t *testing.T) {
 }
 
 func TestReadAtOffsets(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	data := patternData(2*PageSize+500, 9)
 	in := writeFileT(t, fs, "f", data)
@@ -371,6 +391,7 @@ func TestReadAtOffsets(t *testing.T) {
 }
 
 func TestReadPastEOF(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in := writeFileT(t, fs, "f", patternData(10, 1))
 	if got := readFileT(t, fs, in, 10, 5); len(got) != 0 {
@@ -382,6 +403,7 @@ func TestReadPastEOF(t *testing.T) {
 }
 
 func TestSparseFileHolesReadZero(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in, _ := fs.Create("sparse")
 	if _, err := fs.Write(in, 3*PageSize, []byte("end"), FlagNone); err != nil {
@@ -399,6 +421,7 @@ func TestSparseFileHolesReadZero(t *testing.T) {
 }
 
 func TestOverwriteCoWReclaimsBlocks(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	free0 := fs.FreeBlocks()
 	in := writeFileT(t, fs, "f", patternData(2*PageSize, 1))
@@ -419,6 +442,7 @@ func TestOverwriteCoWReclaimsBlocks(t *testing.T) {
 }
 
 func TestPartialPageOverwritePreservesNeighbours(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	base := patternData(PageSize, 1)
 	in := writeFileT(t, fs, "f", base)
@@ -433,6 +457,7 @@ func TestPartialPageOverwritePreservesNeighbours(t *testing.T) {
 }
 
 func TestUnalignedWriteSpanningPages(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in := writeFileT(t, fs, "f", patternData(3*PageSize, 1))
 	patch := patternData(PageSize, 200)
@@ -447,6 +472,7 @@ func TestUnalignedWriteSpanningPages(t *testing.T) {
 }
 
 func TestWriteEmptyIsNoop(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in, _ := fs.Create("f")
 	off, err := fs.Write(in, 0, nil, FlagNone)
@@ -459,6 +485,7 @@ func TestWriteEmptyIsNoop(t *testing.T) {
 }
 
 func TestWriteToDirectoryFails(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	if _, err := fs.Write(fs.Root(), 0, []byte("x"), FlagNone); err == nil {
 		t.Fatal("writing a directory succeeded")
@@ -471,6 +498,7 @@ func TestWriteToDirectoryFails(t *testing.T) {
 // --- Namespace ---
 
 func TestCreateLookupDelete(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in := writeFileT(t, fs, "hello", []byte("world"))
 	got, err := fs.Lookup("hello")
@@ -489,6 +517,7 @@ func TestCreateLookupDelete(t *testing.T) {
 }
 
 func TestCreateDuplicateName(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	fs.Create("x")
 	if _, err := fs.Create("x"); err != ErrExist {
@@ -497,6 +526,7 @@ func TestCreateDuplicateName(t *testing.T) {
 }
 
 func TestDeleteFreesAllBlocks(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	free0 := fs.FreeBlocks()
 	writeFileT(t, fs, "f", patternData(10*PageSize, 1))
@@ -509,6 +539,7 @@ func TestDeleteFreesAllBlocks(t *testing.T) {
 }
 
 func TestInodeSlotReuse(t *testing.T) {
+	t.Parallel()
 	// Freed slots must be recycled: with N slots, create/delete cycles well
 	// beyond N can only succeed if releases return slots to the pool.
 	dev := pmem.New(testDevSize, pmem.ProfileZero)
@@ -528,6 +559,7 @@ func TestInodeSlotReuse(t *testing.T) {
 }
 
 func TestManyFiles(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	const n = 200
 	for i := 0; i < n; i++ {
@@ -548,6 +580,7 @@ func TestManyFiles(t *testing.T) {
 }
 
 func TestOutOfInodes(t *testing.T) {
+	t.Parallel()
 	dev := pmem.New(testDevSize, pmem.ProfileZero)
 	fs, err := Mkfs(dev, 4, nil...)
 	if err != nil {
@@ -563,6 +596,7 @@ func TestOutOfInodes(t *testing.T) {
 // --- Log growth & GC ---
 
 func TestLogGrowsAcrossPages(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in, _ := fs.Create("f")
 	// More writes than one log page holds (63 entries), all to distinct
@@ -584,6 +618,7 @@ func TestLogGrowsAcrossPages(t *testing.T) {
 }
 
 func TestFastGCReclaimsDeadLogPages(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in, _ := fs.Create("f")
 	// Overwrite the same page many times: old entries die; whole log pages
@@ -606,6 +641,7 @@ func TestFastGCReclaimsDeadLogPages(t *testing.T) {
 }
 
 func TestGCSurvivesRemount(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	in, _ := fs.Create("f")
 	for i := 0; i < 5*EntriesPerLogPage; i++ {
@@ -636,6 +672,7 @@ func min(a, b int) int {
 // --- Remount / recovery ---
 
 func TestCleanRemountPreservesEverything(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	data1 := patternData(PageSize+77, 1)
 	data2 := patternData(5, 2)
@@ -672,6 +709,7 @@ func TestCleanRemountPreservesEverything(t *testing.T) {
 }
 
 func TestCrashRemountRecoversCommittedWrites(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	data := patternData(2*PageSize, 7)
 	writeFileT(t, fs, "f", data)
@@ -694,6 +732,7 @@ func TestCrashRemountRecoversCommittedWrites(t *testing.T) {
 }
 
 func TestCrashFreeSpaceAccounting(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	writeFileT(t, fs, "keep", patternData(3*PageSize, 1))
 	in, _ := fs.Lookup("keep")
@@ -712,6 +751,7 @@ func TestCrashFreeSpaceAccounting(t *testing.T) {
 }
 
 func TestRecoverySweepCreate(t *testing.T) {
+	t.Parallel()
 	// Sweep a crash through every persist point of a Create+Write sequence;
 	// after recovery the file either exists fully or not at all, and no
 	// blocks leak.
@@ -779,6 +819,7 @@ func TestRecoverySweepCreate(t *testing.T) {
 func preMountOps(*pmem.Device) int64 { return 0 }
 
 func TestOrphanInodeReclaimedOnRecovery(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	// Simulate a crash between inode creation and dentry commit by building
 	// the state manually: create, then surgically remove the dentry's
@@ -828,6 +869,7 @@ func TestOrphanInodeReclaimedOnRecovery(t *testing.T) {
 // --- Concurrency ---
 
 func TestConcurrentWritersDistinctFiles(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	const writers = 8
 	var wg sync.WaitGroup
@@ -867,6 +909,7 @@ func TestConcurrentWritersDistinctFiles(t *testing.T) {
 }
 
 func TestConcurrentReadersSameFile(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	data := patternData(4*PageSize, 3)
 	in := writeFileT(t, fs, "shared", data)
@@ -889,6 +932,7 @@ func TestConcurrentReadersSameFile(t *testing.T) {
 }
 
 func TestConcurrentCreateDelete(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
@@ -919,6 +963,7 @@ func TestConcurrentCreateDelete(t *testing.T) {
 // --- Write hook & releaser ---
 
 func TestWriteHookFires(t *testing.T) {
+	t.Parallel()
 	var mu sync.Mutex
 	var hooks []uint64
 	dev := pmem.New(testDevSize, pmem.ProfileZero)
@@ -941,6 +986,7 @@ type denyReleaser struct{ denied map[uint64]bool }
 func (d *denyReleaser) Release(block uint64) bool { return !d.denied[block] }
 
 func TestReleaserVetoKeepsBlock(t *testing.T) {
+	t.Parallel()
 	dr := &denyReleaser{denied: map[uint64]bool{}}
 	dev := pmem.New(testDevSize, pmem.ProfileZero)
 	fs, err := Mkfs(dev, 64, WithReleaser(dr))
@@ -965,6 +1011,7 @@ func TestReleaserVetoKeepsBlock(t *testing.T) {
 // --- Property: random op stream matches an in-memory model ---
 
 func TestPropertyFSMatchesModel(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		dev := pmem.New(testDevSize, pmem.ProfileZero)
@@ -1055,6 +1102,7 @@ func TestPropertyFSMatchesModel(t *testing.T) {
 // --- Additional log-boundary and entry-slot tests ---
 
 func TestLogPageBoundaryExactFill(t *testing.T) {
+	t.Parallel()
 	// Exactly 63 entries fill a log page; the 64th append must allocate
 	// and link a second page, with the tail pointing into it.
 	_, fs := mkfsT(t)
@@ -1089,6 +1137,7 @@ func TestLogPageBoundaryExactFill(t *testing.T) {
 }
 
 func TestRemountAtLogPageBoundary(t *testing.T) {
+	t.Parallel()
 	// Crash-remount with the committed tail sitting exactly at the page
 	// boundary slot (the walkLog edge case).
 	dev, fs := mkfsT(t)
@@ -1111,6 +1160,7 @@ func TestRemountAtLogPageBoundary(t *testing.T) {
 }
 
 func TestWriteEntrySeqMonotoneAcrossRemount(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	in := writeFileT(t, fs, "f", patternData(64, 1))
 	_, off1, _ := in.Mapping(0)
@@ -1136,6 +1186,7 @@ func TestWriteEntrySeqMonotoneAcrossRemount(t *testing.T) {
 }
 
 func TestInodeTimesRecoveredFromLog(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	in := writeFileT(t, fs, "f", patternData(64, 1))
 	_, mt1 := in.Times()

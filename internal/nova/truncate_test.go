@@ -9,6 +9,7 @@ import (
 )
 
 func TestTruncateShrink(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	data := patternData(3*PageSize+100, 1)
 	in := writeFileT(t, fs, "f", data)
@@ -33,6 +34,7 @@ func TestTruncateShrink(t *testing.T) {
 }
 
 func TestTruncateGrowReadsZeros(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in := writeFileT(t, fs, "f", patternData(100, 2))
 	if err := fs.Truncate(in, 2*PageSize, FlagNone); err != nil {
@@ -50,6 +52,7 @@ func TestTruncateGrowReadsZeros(t *testing.T) {
 }
 
 func TestTruncateToZeroAndRewrite(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in := writeFileT(t, fs, "f", patternData(2*PageSize, 3))
 	free0 := fs.FreeBlocks()
@@ -72,6 +75,7 @@ func TestTruncateToZeroAndRewrite(t *testing.T) {
 }
 
 func TestTruncateNoopAndDirRejected(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in := writeFileT(t, fs, "f", patternData(10, 5))
 	if err := fs.Truncate(in, 10, FlagNone); err != nil {
@@ -83,6 +87,7 @@ func TestTruncateNoopAndDirRejected(t *testing.T) {
 }
 
 func TestTruncateSurvivesRemount(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	data := patternData(3*PageSize, 6)
 	in := writeFileT(t, fs, "f", data)
@@ -108,6 +113,7 @@ func TestTruncateSurvivesRemount(t *testing.T) {
 }
 
 func TestTruncateThenWriteThenCrash(t *testing.T) {
+	t.Parallel()
 	dev, fs := mkfsT(t)
 	data := patternData(3*PageSize, 7)
 	in := writeFileT(t, fs, "f", data)
@@ -136,6 +142,7 @@ func TestTruncateThenWriteThenCrash(t *testing.T) {
 }
 
 func TestTruncateCrashSweep(t *testing.T) {
+	t.Parallel()
 	// Crash at every persist point of a shrinking truncate: the file is
 	// atomically either the old or the new size, content intact either way.
 	base := pmem.New(testDevSize, pmem.ProfileZero)
@@ -194,6 +201,7 @@ func TestTruncateCrashSweep(t *testing.T) {
 }
 
 func TestFsckCleanOnHealthyFS(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	for i := 0; i < 20; i++ {
 		writeFileT(t, fs, fmt.Sprintf("f%d", i), patternData(PageSize*(i%3+1), byte(i)))
@@ -207,6 +215,7 @@ func TestFsckCleanOnHealthyFS(t *testing.T) {
 }
 
 func TestFsckDetectsLeak(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	writeFileT(t, fs, "f", patternData(PageSize, 1))
 	// Leak a block: allocate and drop it.
@@ -219,6 +228,7 @@ func TestFsckDetectsLeak(t *testing.T) {
 }
 
 func TestFsckDetectsRadixCorruption(t *testing.T) {
+	t.Parallel()
 	_, fs := mkfsT(t)
 	in := writeFileT(t, fs, "f", patternData(PageSize, 1))
 	// Corrupt the DRAM radix: point page 0 at a bogus block.

@@ -69,6 +69,11 @@ type Device struct {
 
 	stats Stats
 
+	// shadow ordering tracker (see shadow.go); off by default
+	shadowOn  int32
+	fenceWork int64 // flush-class calls since the last fence
+	shadow    shadowState
+
 	// crash injection
 	crashArmed int32 // 1 when crashAt is active
 	crashAt    int64 // persist-op ordinal that triggers the crash
@@ -157,6 +162,9 @@ func (d *Device) WriteNT(off int64, p []byte) {
 		copy(d.buf[off:], p)
 		atomic.AddInt64(&d.stats.NTLines, lines)
 		atomic.AddInt64(&d.persistOps, lines)
+		if d.ShadowEnabled() {
+			atomic.AddInt64(&d.fenceWork, 1)
+		}
 		d.chargeWrite(time_Duration(lines) * d.prof.WritePerLine)
 		return
 	}
@@ -179,6 +187,9 @@ func (d *Device) WriteNT(off int64, p []byte) {
 		pos += int64(n)
 		rem = rem[n:]
 	}
+	if d.ShadowEnabled() {
+		atomic.AddInt64(&d.fenceWork, 1)
+	}
 	d.chargeWrite(time_Duration(lines) * d.prof.WritePerLine)
 }
 
@@ -190,10 +201,16 @@ func (d *Device) Flush(off int64, n int) {
 		return
 	}
 	first, last := lineOf(off), lineOf(off+int64(n)-1)
+	redundant := int64(0)
 	for l := first; l <= last; l++ {
-		d.persistLine(l)
+		if !d.persistLine(l) {
+			redundant++
+		}
 		atomic.AddInt64(&d.stats.FlushedLines, 1)
 		d.persistPoint()
+	}
+	if d.ShadowEnabled() {
+		d.shadowFlush(redundant)
 	}
 	d.chargeWrite(time_Duration(last-first+1)*d.prof.WritePerLine + d.prof.FlushOverhead)
 }
@@ -203,6 +220,9 @@ func (d *Device) Flush(off int64, n int) {
 // API so call sites document the ordering they rely on.
 func (d *Device) Fence() {
 	atomic.AddInt64(&d.stats.Fences, 1)
+	if d.ShadowEnabled() {
+		d.shadowFence()
+	}
 	d.chargeWrite(d.prof.FenceOverhead)
 }
 
@@ -248,7 +268,7 @@ func (d *Device) Store64(off int64, v uint64) {
 
 // PersistStore64 is Store64 followed by Flush+Fence of the word.
 func (d *Device) PersistStore64(off int64, v uint64) {
-	d.Store64(off, v)
+	d.Store64(off, v) //denova:persist-ok this IS the atomic-persist primitive the checker steers callers to
 	d.Persist(off, 8)
 }
 
@@ -308,22 +328,26 @@ func (d *Device) saveOld(off int64, n int) {
 	}
 }
 
-// persistLine marks a line durable by dropping its saved pre-image. The
-// lock is skipped when the shard has no dirty lines at all — the common
-// case on the bulk data path, where the simulation bookkeeping must stay
-// far cheaper than the modelled media latency.
-func (d *Device) persistLine(l int64) {
+// persistLine marks a line durable by dropping its saved pre-image,
+// reporting whether the line actually had unflushed stores (false = the
+// flush was redundant, which the shadow tracker counts). The lock is
+// skipped when the shard has no dirty lines at all — the common case on the
+// bulk data path, where the simulation bookkeeping must stay far cheaper
+// than the modelled media latency.
+func (d *Device) persistLine(l int64) bool {
 	sh := &d.dirty[l%dirtyShards]
 	if atomic.LoadInt32(&sh.n) == 0 {
-		return
+		return false
 	}
 	sh.mu.Lock()
-	if _, ok := sh.old[l]; ok {
+	_, wasDirty := sh.old[l]
+	if wasDirty {
 		delete(sh.old, l)
 		atomic.AddInt32(&sh.n, -1)
 		atomic.AddInt64(&d.dirtyCount, -1)
 	}
 	sh.mu.Unlock()
+	return wasDirty
 }
 
 // DirtyLines returns the number of cache lines with unflushed stores.

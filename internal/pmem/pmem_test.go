@@ -16,6 +16,7 @@ func newDev(t *testing.T, pages int64) *Device {
 }
 
 func TestNewRoundsUpToPage(t *testing.T) {
+	t.Parallel()
 	d := New(PageSize+1, ProfileZero)
 	if d.Size() != 2*PageSize {
 		t.Fatalf("size = %d, want %d", d.Size(), 2*PageSize)
@@ -23,6 +24,7 @@ func TestNewRoundsUpToPage(t *testing.T) {
 }
 
 func TestNewPanicsOnNonPositiveSize(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -32,6 +34,7 @@ func TestNewPanicsOnNonPositiveSize(t *testing.T) {
 }
 
 func TestWriteReadRoundTrip(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 4)
 	want := []byte("hello, persistent world")
 	d.Write(100, want)
@@ -43,6 +46,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 }
 
 func TestOutOfBoundsPanics(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 1)
 	for _, fn := range []func(){
 		func() { d.Read(PageSize-1, make([]byte, 2)) },
@@ -62,6 +66,7 @@ func TestOutOfBoundsPanics(t *testing.T) {
 }
 
 func TestUnalignedAtomicsPanic(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 1)
 	for _, fn := range []func(){
 		func() { d.Load64(1) },
@@ -81,6 +86,7 @@ func TestUnalignedAtomicsPanic(t *testing.T) {
 }
 
 func TestUnflushedStoreLostOnCrash(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 4)
 	d.Write(0, []byte{1, 2, 3, 4})
 	img := d.CrashImage(CrashDropDirty, 0)
@@ -92,6 +98,7 @@ func TestUnflushedStoreLostOnCrash(t *testing.T) {
 }
 
 func TestFlushedStoreSurvivesCrash(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 4)
 	d.Write(0, []byte{1, 2, 3, 4})
 	d.Persist(0, 4)
@@ -104,6 +111,7 @@ func TestFlushedStoreSurvivesCrash(t *testing.T) {
 }
 
 func TestPartialFlushCrashKeepsLineGranularity(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 4)
 	// Two stores on two different lines; flush only the first line.
 	d.Write(0, []byte{0xAA})
@@ -122,6 +130,7 @@ func TestPartialFlushCrashKeepsLineGranularity(t *testing.T) {
 }
 
 func TestWriteNTIsImmediatelyDurable(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 4)
 	p := bytes.Repeat([]byte{0x5A}, 3*CacheLineSize)
 	d.WriteNT(10, p) // deliberately unaligned start
@@ -134,6 +143,7 @@ func TestWriteNTIsImmediatelyDurable(t *testing.T) {
 }
 
 func TestWriteNTOverUnflushedStore(t *testing.T) {
+	t.Parallel()
 	// A cached store followed by an NT store to the same line: the NT data
 	// must be what survives, not the pre-store image.
 	d := newDev(t, 4)
@@ -153,6 +163,7 @@ func TestWriteNTOverUnflushedStore(t *testing.T) {
 }
 
 func TestStore64AtomicPersistence(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 1)
 	d.Store64(64, 0xDEADBEEFCAFEF00D)
 	d.Persist(64, 8)
@@ -163,6 +174,7 @@ func TestStore64AtomicPersistence(t *testing.T) {
 }
 
 func TestCAS64(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 1)
 	d.Store64(0, 7)
 	if d.CAS64(0, 6, 9) {
@@ -177,6 +189,7 @@ func TestCAS64(t *testing.T) {
 }
 
 func TestAdd64TwosComplement(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 1)
 	d.Store64(0, 10)
 	if v := d.Add64(0, ^uint64(0)); v != 9 { // add -1
@@ -185,6 +198,7 @@ func TestAdd64TwosComplement(t *testing.T) {
 }
 
 func TestAdd64Concurrent(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 1)
 	const goroutines, per = 8, 1000
 	var wg sync.WaitGroup
@@ -204,6 +218,7 @@ func TestAdd64Concurrent(t *testing.T) {
 }
 
 func TestStatsCounting(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 4)
 	d.ResetStats()
 	d.Write(0, make([]byte, 128))
@@ -226,6 +241,7 @@ func TestStatsCounting(t *testing.T) {
 }
 
 func TestStatsSub(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 1)
 	d.Write(0, make([]byte, 64))
 	before := d.Stats()
@@ -237,6 +253,7 @@ func TestStatsSub(t *testing.T) {
 }
 
 func TestCrashInjectionAtEveryPersistPoint(t *testing.T) {
+	t.Parallel()
 	// Write 3 lines NT: 3 persist points. Sweeping the crash point must
 	// yield strictly growing persisted prefixes.
 	payload := bytes.Repeat([]byte{0xEE}, 3*CacheLineSize)
@@ -261,12 +278,14 @@ func TestCrashInjectionAtEveryPersistPoint(t *testing.T) {
 }
 
 func TestRunToCrashNoCrash(t *testing.T) {
+	t.Parallel()
 	if RunToCrash(func() {}) {
 		t.Fatal("RunToCrash reported a crash for a clean run")
 	}
 }
 
 func TestRunToCrashPropagatesOtherPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if r := recover(); r != "boom" {
 			t.Fatalf("recovered %v, want boom", r)
@@ -276,6 +295,7 @@ func TestRunToCrashPropagatesOtherPanics(t *testing.T) {
 }
 
 func TestSetCrashAfterDisarm(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 1)
 	d.SetCrashAfter(1)
 	d.SetCrashAfter(0) // disarm
@@ -285,6 +305,7 @@ func TestSetCrashAfterDisarm(t *testing.T) {
 }
 
 func TestCrashEvictRandomIsDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
 	mk := func() *Device {
 		d := newDev(t, 4)
 		for l := 0; l < 32; l++ {
@@ -315,6 +336,7 @@ func TestCrashEvictRandomIsDeterministicPerSeed(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 1)
 	d.Write(0, []byte{9})
 	c := d.Clone()
@@ -333,6 +355,7 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestDirtyLines(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 4)
 	if d.DirtyLines() != 0 {
 		t.Fatal("fresh device has dirty lines")
@@ -361,6 +384,7 @@ func TestLatencyChargedAndCounted(t *testing.T) {
 }
 
 func TestProfileZeroPredicate(t *testing.T) {
+	t.Parallel()
 	if !ProfileZero.Zero() {
 		t.Fatal("ProfileZero.Zero() = false")
 	}
@@ -373,6 +397,7 @@ func TestProfileZeroPredicate(t *testing.T) {
 // the crash image equals either the latest persisted content or — only for
 // bytes on never-flushed lines — the previous persisted content.
 func TestPropertyCrashImageConsistency(t *testing.T) {
+	t.Parallel()
 	f := func(ops []uint16, seed int64) bool {
 		const pages = 2
 		d := New(pages*PageSize, ProfileZero)
@@ -424,6 +449,7 @@ func TestPropertyCrashImageConsistency(t *testing.T) {
 // Property: Load64/Store64 round-trip through the little-endian layout used
 // by the rest of the system.
 func TestPropertyStore64RoundTrip(t *testing.T) {
+	t.Parallel()
 	d := New(PageSize, ProfileZero)
 	f := func(v uint64, slot uint8) bool {
 		off := int64(slot%64) * 8
@@ -438,6 +464,7 @@ func TestPropertyStore64RoundTrip(t *testing.T) {
 }
 
 func TestLinesSpanned(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		off  int64
 		n    int
@@ -454,6 +481,7 @@ func TestLinesSpanned(t *testing.T) {
 }
 
 func TestCrashKeepDirtyEqualsVolatileView(t *testing.T) {
+	t.Parallel()
 	// With every dirty line persisted, the crash image must equal the
 	// volatile view byte for byte.
 	d := newDev(t, 2)
@@ -479,6 +507,7 @@ func TestCrashKeepDirtyEqualsVolatileView(t *testing.T) {
 }
 
 func TestEvictionImageBetweenDropAndKeep(t *testing.T) {
+	t.Parallel()
 	// Property: for any byte, the eviction image agrees with either the
 	// drop-dirty image or the keep-dirty image.
 	d := newDev(t, 2)
@@ -542,6 +571,7 @@ func TestBandwidthSharingScalesLatency(t *testing.T) {
 }
 
 func TestPersistOpsMonotone(t *testing.T) {
+	t.Parallel()
 	d := newDev(t, 1)
 	before := d.PersistOps()
 	d.WriteNT(0, make([]byte, 3*CacheLineSize))

@@ -22,6 +22,13 @@ type Stats struct {
 	WrittenBytes int64
 	// SimLatencyNs is the total injected media latency in nanoseconds.
 	SimLatencyNs int64
+
+	// Shadow-tracker counters (see shadow.go). UnflushedAtCheckpoint counts
+	// dirty lines found by CheckpointClean (maintained even with the tracker
+	// off); the other two are only advanced while the tracker is enabled.
+	UnflushedAtCheckpoint int64
+	RedundantFlushLines   int64
+	FencesWithoutFlush    int64
 }
 
 // Stats returns a snapshot of the device counters.
@@ -34,6 +41,10 @@ func (d *Device) Stats() Stats {
 		ReadBytes:    atomic.LoadInt64(&d.stats.ReadBytes),
 		WrittenBytes: atomic.LoadInt64(&d.stats.WrittenBytes),
 		SimLatencyNs: atomic.LoadInt64(&d.stats.SimLatencyNs),
+
+		UnflushedAtCheckpoint: atomic.LoadInt64(&d.stats.UnflushedAtCheckpoint),
+		RedundantFlushLines:   atomic.LoadInt64(&d.stats.RedundantFlushLines),
+		FencesWithoutFlush:    atomic.LoadInt64(&d.stats.FencesWithoutFlush),
 	}
 }
 
@@ -46,6 +57,9 @@ func (d *Device) ResetStats() {
 	atomic.StoreInt64(&d.stats.ReadBytes, 0)
 	atomic.StoreInt64(&d.stats.WrittenBytes, 0)
 	atomic.StoreInt64(&d.stats.SimLatencyNs, 0)
+	atomic.StoreInt64(&d.stats.UnflushedAtCheckpoint, 0)
+	atomic.StoreInt64(&d.stats.RedundantFlushLines, 0)
+	atomic.StoreInt64(&d.stats.FencesWithoutFlush, 0)
 }
 
 // Sub returns s minus t, field-wise. Useful for measuring a phase.
@@ -58,6 +72,10 @@ func (s Stats) Sub(t Stats) Stats {
 		ReadBytes:    s.ReadBytes - t.ReadBytes,
 		WrittenBytes: s.WrittenBytes - t.WrittenBytes,
 		SimLatencyNs: s.SimLatencyNs - t.SimLatencyNs,
+
+		UnflushedAtCheckpoint: s.UnflushedAtCheckpoint - t.UnflushedAtCheckpoint,
+		RedundantFlushLines:   s.RedundantFlushLines - t.RedundantFlushLines,
+		FencesWithoutFlush:    s.FencesWithoutFlush - t.FencesWithoutFlush,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 )
 
 func TestEmptyTree(t *testing.T) {
+	t.Parallel()
 	var tr Tree
 	if tr.Len() != 0 {
 		t.Fatal("empty tree has nonzero length")
@@ -22,6 +23,7 @@ func TestEmptyTree(t *testing.T) {
 }
 
 func TestInsertLookup(t *testing.T) {
+	t.Parallel()
 	var tr Tree
 	tr.Insert(0, Value{Block: 10, Entry: 100})
 	tr.Insert(63, Value{Block: 11, Entry: 101})
@@ -51,6 +53,7 @@ func TestInsertLookup(t *testing.T) {
 }
 
 func TestInsertReplace(t *testing.T) {
+	t.Parallel()
 	var tr Tree
 	tr.Insert(7, Value{Block: 1})
 	prev, replaced := tr.Insert(7, Value{Block: 2})
@@ -67,6 +70,7 @@ func TestInsertReplace(t *testing.T) {
 }
 
 func TestDeleteAndPrune(t *testing.T) {
+	t.Parallel()
 	var tr Tree
 	keys := []uint64{0, 1, 64, 4096, 1 << 20}
 	for i, k := range keys {
@@ -90,6 +94,7 @@ func TestDeleteAndPrune(t *testing.T) {
 }
 
 func TestDeleteMissing(t *testing.T) {
+	t.Parallel()
 	var tr Tree
 	tr.Insert(100, Value{Block: 1})
 	if _, ok := tr.Delete(101); ok {
@@ -101,6 +106,7 @@ func TestDeleteMissing(t *testing.T) {
 }
 
 func TestWalkOrderAndEarlyStop(t *testing.T) {
+	t.Parallel()
 	var tr Tree
 	keys := []uint64{500, 3, 70, 1 << 25, 0, 64}
 	for _, k := range keys {
@@ -128,6 +134,7 @@ func TestWalkOrderAndEarlyStop(t *testing.T) {
 }
 
 func TestClear(t *testing.T) {
+	t.Parallel()
 	var tr Tree
 	for i := uint64(0); i < 100; i++ {
 		tr.Insert(i*37, Value{Block: i})
@@ -146,6 +153,7 @@ func TestClear(t *testing.T) {
 }
 
 func TestHugeKeys(t *testing.T) {
+	t.Parallel()
 	var tr Tree
 	huge := []uint64{1 << 60, ^uint64(0), ^uint64(0) - 1}
 	for i, k := range huge {
@@ -161,6 +169,7 @@ func TestHugeKeys(t *testing.T) {
 
 // Property: the tree behaves identically to a map under a random op stream.
 func TestPropertyTreeMatchesMap(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		var tr Tree

@@ -23,6 +23,7 @@ func chunkDupStats(g *Generator) (dup, total int) {
 }
 
 func TestDeterministic(t *testing.T) {
+	t.Parallel()
 	g1 := NewGenerator(Small(10, 0.5))
 	g2 := NewGenerator(Small(10, 0.5))
 	for i := 0; i < 10; i++ {
@@ -36,6 +37,7 @@ func TestDeterministic(t *testing.T) {
 }
 
 func TestFileNamesUnique(t *testing.T) {
+	t.Parallel()
 	g := NewGenerator(Small(100, 0))
 	names := map[string]bool{}
 	for i := 0; i < 100; i++ {
@@ -48,6 +50,7 @@ func TestFileNamesUnique(t *testing.T) {
 }
 
 func TestZeroDupRatioAllUnique(t *testing.T) {
+	t.Parallel()
 	g := NewGenerator(Large(20, 0))
 	dup, total := chunkDupStats(g)
 	if dup != 0 {
@@ -56,6 +59,7 @@ func TestZeroDupRatioAllUnique(t *testing.T) {
 }
 
 func TestDupRatioApproximatelyHonored(t *testing.T) {
+	t.Parallel()
 	for _, ratio := range []float64{0.25, 0.5, 0.75} {
 		spec := Large(50, ratio)
 		spec.Seed = int64(ratio * 100)
@@ -72,6 +76,7 @@ func TestDupRatioApproximatelyHonored(t *testing.T) {
 }
 
 func TestFullDupRatio(t *testing.T) {
+	t.Parallel()
 	spec := Small(200, 1.0)
 	g := NewGenerator(spec)
 	dup, total := chunkDupStats(g)
@@ -83,6 +88,7 @@ func TestFullDupRatio(t *testing.T) {
 }
 
 func TestZipfSkewsPopularity(t *testing.T) {
+	t.Parallel()
 	spec := Small(400, 1.0)
 	spec.Zipf = true
 	spec.PoolSize = 32
@@ -105,6 +111,7 @@ func TestZipfSkewsPopularity(t *testing.T) {
 }
 
 func TestFileSizeNotPageMultiple(t *testing.T) {
+	t.Parallel()
 	spec := Spec{Name: "odd", FileSize: 10000, NumFiles: 3, DupRatio: 0.5, Seed: 7}
 	g := NewGenerator(spec)
 	for i := 0; i < 3; i++ {
@@ -115,6 +122,7 @@ func TestFileSizeNotPageMultiple(t *testing.T) {
 }
 
 func TestTotalBytes(t *testing.T) {
+	t.Parallel()
 	if got := Large(100, 0).TotalBytes(); got != 100*128*1024 {
 		t.Fatalf("TotalBytes = %d", got)
 	}
