@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint test race bench clean
+.PHONY: all build lint test race torture bench clean
 
 all: build lint test
 
@@ -18,6 +18,13 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+
+# torture = the parallel-dedup concurrency gates: the writer/worker/GC
+# torture test and all crash sweeps under the race detector, plus the
+# worker-scaling no-regression smoke.
+torture:
+	$(GO) test -race -run 'Torture|Crash' -count=2 ./internal/...
+	$(GO) test -run TestWorkerScalingSmoke -v ./internal/harness/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -334,3 +334,39 @@ func BenchmarkFACTLookup(b *testing.B) {
 		b.ReportMetric(st.Fact.AvgWalk(), "avg-chain-walk")
 	}
 }
+
+// BenchmarkWorkerScaling measures background dedup drain throughput as a
+// function of the daemon's worker-pool size: the DWQ is filled while the
+// daemon is stopped, then an N-worker pool alone drains it. Uses an
+// interleaved-DIMM latency profile (no bandwidth-sharing governor) so the
+// number reflects the software pipeline, not media saturation. The CI gate
+// on these numbers is TestWorkerScalingSmoke in internal/harness.
+func BenchmarkWorkerScaling(b *testing.B) {
+	spec := harness.ScalingSpec{
+		Files:        64,
+		PagesPerFile: 16,
+		DupRatio:     0.5,
+		Seed:         7,
+		Profile: pmem.LatencyProfile{
+			Name:               "optane-interleaved",
+			ReadAccessOverhead: 250 * time.Nanosecond,
+			ReadPerLine:        40 * time.Nanosecond,
+			WritePerLine:       35 * time.Nanosecond,
+			FlushOverhead:      20 * time.Nanosecond,
+			FenceOverhead:      15 * time.Nanosecond,
+		},
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var nodesPerSec float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.MeasureWorkerScaling([]int{w}, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodesPerSec += res[0].NodesPerSec
+			}
+			b.ReportMetric(nodesPerSec/float64(b.N), "nodes/s")
+		})
+	}
+}

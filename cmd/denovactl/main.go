@@ -229,6 +229,14 @@ func main() {
 			st.Dedup.EntriesProcessed, st.Dedup.PagesDuplicate, st.Dedup.PagesUnique)
 		fmt.Printf("FACT:            %d lookups (avg walk %.2f), %d inserts, %d reorders\n",
 			st.Fact.Lookups, st.Fact.AvgWalk(), st.Fact.Inserts, st.Fact.Reorders)
+		if len(st.Queue.Shards) > 0 {
+			fmt.Printf("queue:           %d queued (peak %d), %d enq / %d deq, shard depths %v\n",
+				st.Queue.Len, st.Queue.Peak, st.Queue.Enqueued, st.Queue.Dequeued, st.Queue.Shards)
+		}
+		for i, w := range st.Workers {
+			fmt.Printf("worker %-2d:       %d batches, %d nodes, %s busy\n",
+				i, w.Batches, w.Nodes, time.Duration(w.BusyNs))
+		}
 		fmt.Printf("device:          %s\n", st.Device)
 		fs.Unmount()
 

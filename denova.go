@@ -96,6 +96,12 @@ type Config struct {
 	// ScrubEvery runs the background FACT scrubber every N daemon wakeups
 	// (0 = never; scrubbing also runs explicitly via ScrubNow).
 	ScrubEvery int
+	// Workers sets the dedup daemon's worker-pool size for the offline
+	// modes. <= 0 selects the default (GOMAXPROCS, capped at 8). Each
+	// worker drains DWQ batches, fingerprints pages, and commits FACT
+	// transactions concurrently; crash consistency holds under any
+	// interleaving (see DESIGN.md "Parallel dedup").
+	Workers int
 	// NoDaemon suppresses the background daemon for the offline modes:
 	// queued work runs only when Sync is called, on the caller's
 	// goroutine. Crash-injection harnesses need this so an injected panic
@@ -211,13 +217,18 @@ func (f *FS) wireMode() {
 	}
 	switch f.cfg.Mode {
 	case ModeImmediate:
-		f.daemon = dedup.NewDaemon(f.engine, dedup.DaemonConfig{Interval: 0, ScrubEvery: f.cfg.ScrubEvery})
+		f.daemon = dedup.NewDaemon(f.engine, dedup.DaemonConfig{
+			Interval:   0,
+			ScrubEvery: f.cfg.ScrubEvery,
+			Workers:    f.cfg.Workers,
+		})
 		f.daemon.Start()
 	case ModeDelayed:
 		f.daemon = dedup.NewDaemon(f.engine, dedup.DaemonConfig{
 			Interval:   f.cfg.DelayInterval,
 			Batch:      f.cfg.DelayBatch,
 			ScrubEvery: f.cfg.ScrubEvery,
+			Workers:    f.cfg.Workers,
 		})
 		f.daemon.Start()
 	}
@@ -240,17 +251,11 @@ func (f *FS) Sync() {
 }
 
 // ScrubNow runs one FACT scrubber pass synchronously (the §V-C2 background
-// service). Only valid while the daemon is quiescent; prefer
-// Config.ScrubEvery for continuous operation.
+// service). Safe at any time: the pass quiesces the daemon's worker pool
+// (and any inline writers) at a batch boundary for its duration.
 func (f *FS) ScrubNow() int {
 	if f.engine == nil {
 		return 0
-	}
-	if f.daemon != nil {
-		f.daemon.Stop()
-		defer func() {
-			f.wireMode()
-		}()
 	}
 	return f.engine.ScrubNow()
 }
@@ -270,6 +275,23 @@ func (f *FS) QueuePeak() int {
 		return 0
 	}
 	return f.engine.DWQ().Peak()
+}
+
+// QueueShardLens returns the DWQ's per-shard depths (nil outside the
+// offline dedup modes).
+func (f *FS) QueueShardLens() []int {
+	if f.engine == nil {
+		return nil
+	}
+	return f.engine.DWQ().ShardLens()
+}
+
+// WorkerStats returns per-worker dedup activity (nil when no daemon runs).
+func (f *FS) WorkerStats() []dedup.WorkerStat {
+	if f.daemon == nil {
+		return nil
+	}
+	return f.daemon.WorkerStats()
 }
 
 // Geometry exposes the on-device region sizes for overhead reporting.

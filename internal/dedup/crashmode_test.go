@@ -1,9 +1,12 @@
 package dedup
 
 import (
+	"bytes"
 	"fmt"
+	"math/rand"
 	"testing"
 
+	"denova/internal/fact"
 	"denova/internal/nova"
 	"denova/internal/pmem"
 )
@@ -123,4 +126,176 @@ func TestCrashSweepReclaimKeepDirty(t *testing.T) {
 		}
 		fsckAfterRecovery(t, rec, fmt.Sprintf("reclaim keep-dirty k=%d", k))
 	}
+}
+
+// buildParallelCrashBase writes a batch of heavily duplicated files across
+// several inodes without draining the queue, so a recovered rig re-finds a
+// substantial dedup backlog (via the flag scan) for a worker pool to chew
+// through. Returns the device and the expected content of every file.
+func buildParallelCrashBase(t *testing.T) (*pmem.Device, map[string][]byte) {
+	t.Helper()
+	dev := pmem.New(testDevSize, pmem.ProfileZero)
+	fs, err := nova.Mkfs(dev, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := fact.New(dev, fact.Config{
+		Base:       fs.Geo.FactOff,
+		PrefixBits: fs.Geo.FactPrefixBits,
+		DataStart:  fs.Geo.DataStartBlock,
+		NumData:    fs.Geo.NumDataBlocks,
+	})
+	table.ZeroFill()
+	NewEngine(fs, table)
+	content := make(map[string][]byte)
+	rng := rand.New(rand.NewSource(4242))
+	for f := 0; f < 6; f++ {
+		seeds := make([]byte, 6)
+		for i := range seeds {
+			seeds[i] = byte(1 + rng.Intn(4)) // 4 distinct pages => heavy duplication
+		}
+		name := fmt.Sprintf("p%d", f)
+		data := pages(seeds...)
+		in, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Write(in, 0, data, nova.FlagNeeded); err != nil {
+			t.Fatal(err)
+		}
+		content[name] = data
+	}
+	return dev, content
+}
+
+// TestCrashSweepParallelDrain injects crashes at randomized persist points
+// while a 4-worker pool drains the backlog, then recovers under both
+// CrashKeepDirty and CrashEvictRandom and checks that recovery plus
+// re-dedup converges: content intact, FACT invariants hold, no UC leaks,
+// refcounts consistent with a from-scratch recount, and a clean fsck.
+// Every run logs its seed and crash point, so a failure reproduces by
+// pinning them.
+func TestCrashSweepParallelDrain(t *testing.T) {
+	t.Parallel()
+	base, content := buildParallelCrashBase(t)
+
+	// Bound the random crash points with one full parallel drain. The
+	// persist-op total varies across interleavings, so a k past this run's
+	// total just means the crash never fires and the sweep exercises a
+	// clean parallel drain instead — still a valid sample.
+	probe := base.Clone()
+	rp, _ := attachRig(t, probe)
+	start := probe.PersistOps()
+	dp := NewDaemon(rp.engine, DaemonConfig{Interval: 0, Workers: 4})
+	dp.Start()
+	dp.DrainSync()
+	dp.Stop()
+	total := probe.PersistOps() - start
+	if total < 20 {
+		t.Fatalf("suspiciously few persist points in parallel drain: %d", total)
+	}
+
+	sweeps := 14
+	if raceEnabled {
+		sweeps = 5
+	}
+	modes := []struct {
+		name string
+		mode pmem.CrashMode
+	}{
+		{"keep-dirty", pmem.CrashKeepDirty},
+		{"evict-random", pmem.CrashEvictRandom},
+	}
+	for s := 0; s < sweeps; s++ {
+		seed := int64(90001 + s)
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Int63n(total)
+		m := modes[s%len(modes)]
+		t.Logf("sweep %d: seed=%d k=%d mode=%s", s, seed, k, m.name)
+
+		work := base.Clone()
+		rw, _ := attachRig(t, work)
+		work.SetCrashAfter(k)
+		d := NewDaemon(rw.engine, DaemonConfig{Interval: 0, Workers: 4})
+		d.Start()
+		// The caller joins the drain: if a worker hits the crash first, the
+		// dead device panics the caller too at its next access; if k is
+		// past this interleaving's total, the drain completes cleanly.
+		crashed := pmem.RunToCrash(func() { d.DrainSync() })
+		d.Stop()
+		if !crashed && work.Crashed() {
+			crashed = true // workers hit the crash; caller saw an empty queue
+		}
+
+		img := work.CrashImage(m.mode, seed)
+		rec, _ := attachRig(t, img)
+		tag := fmt.Sprintf("parallel seed=%d k=%d mode=%s crashed=%v", seed, k, m.name, crashed)
+		verifyParallelRecovery(t, rec, content, tag)
+	}
+}
+
+// verifyParallelRecovery checks a recovered image: content, invariants,
+// convergence of post-recovery re-dedup, and refcount consistency.
+func verifyParallelRecovery(t *testing.T, r *rig, content map[string][]byte, tag string) {
+	t.Helper()
+	if err := r.table.CheckInvariants(); err != nil {
+		t.Fatalf("%s: FACT invariants: %v", tag, err)
+	}
+	// Recovery zeroes every UC (count-based consistency: an in-flight
+	// transaction either committed its RFC transfer or its UC vanishes).
+	for i := int64(0); i < r.table.TotalEntries(); i++ {
+		if uc := r.table.UC(uint64(i)); uc != 0 {
+			t.Fatalf("%s: UC=%d leaked on entry %d after recovery", tag, uc, i)
+		}
+	}
+	for name, want := range content {
+		if got := r.read(t, name, len(want)); !bytes.Equal(got, want) {
+			t.Fatalf("%s: file %s corrupted after recovery", tag, name)
+		}
+	}
+	// Re-dedup must converge (the recovered queue holds the re-found
+	// backlog) and content must survive it.
+	r.engine.Drain()
+	for name, want := range content {
+		if got := r.read(t, name, len(want)); !bytes.Equal(got, want) {
+			t.Fatalf("%s: file %s corrupted by post-recovery dedup", tag, name)
+		}
+	}
+	if err := r.table.CheckInvariants(); err != nil {
+		t.Fatalf("%s: FACT invariants after drain: %v", tag, err)
+	}
+	// Refcount recount: every mapped block needs a FACT entry with
+	// RFC >= its mapping count (crashes may leave lazy over-increments,
+	// which only the scrubber repairs once the block is fully unused —
+	// under-counts would be a consistency bug). After a scrub pass, any
+	// surviving entry must reference an in-use block.
+	refs := make(map[uint64]int)
+	r.fs.WalkFiles(func(in *nova.Inode) {
+		in.Lock()
+		in.WalkMappingsLocked(func(pg, block, entryOff uint64) bool {
+			refs[block]++
+			return true
+		})
+		in.Unlock()
+	})
+	for block, want := range refs {
+		idx, ok := r.table.DeletePtr(block)
+		if !ok {
+			t.Fatalf("%s: mapped block %d has no FACT entry after drain", tag, block)
+		}
+		if got := int(r.table.RFC(idx)); got < want {
+			t.Fatalf("%s: block %d RFC=%d below from-scratch recount %d", tag, block, got, want)
+		}
+	}
+	r.engine.ScrubNow()
+	for block, want := range refs {
+		idx, ok := r.table.DeletePtr(block)
+		if !ok {
+			t.Fatalf("%s: mapped block %d lost its FACT entry to the scrubber", tag, block)
+		}
+		if got := int(r.table.RFC(idx)); got < want {
+			t.Fatalf("%s: block %d RFC=%d below recount %d after scrub", tag, block, got, want)
+		}
+	}
+	fsckAfterRecovery(t, r, tag)
 }

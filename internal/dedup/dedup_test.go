@@ -125,23 +125,33 @@ func TestWeakFingerprint(t *testing.T) {
 
 func TestDWQFIFO(t *testing.T) {
 	t.Parallel()
+	// The sharded queue promises FIFO per inode (all of an inode's nodes
+	// live in one shard); across inodes the dequeue order is unspecified.
 	q := NewDWQ()
 	for i := uint64(1); i <= 5; i++ {
-		q.Enqueue(Node{Ino: i})
+		q.Enqueue(Node{Ino: i, EntryOff: 1})
+		q.Enqueue(Node{Ino: i, EntryOff: 2})
 	}
-	if q.Len() != 5 {
+	if q.Len() != 10 {
 		t.Fatalf("Len = %d", q.Len())
 	}
-	got := q.DequeueBatch(2)
-	if len(got) != 2 || got[0].Ino != 1 || got[1].Ino != 2 {
-		t.Fatalf("batch = %+v", got)
+	got := q.DequeueBatch(4)
+	if len(got) != 4 {
+		t.Fatalf("batch len = %d", len(got))
 	}
-	got = q.DequeueBatch(0)
-	if len(got) != 3 || got[0].Ino != 3 {
-		t.Fatalf("drain = %+v", got)
+	got = append(got, q.DequeueBatch(0)...)
+	lastOff := make(map[uint64]uint64)
+	for _, n := range got {
+		if n.EntryOff <= lastOff[n.Ino] {
+			t.Fatalf("per-inode order violated: ino %d entry %d after %d", n.Ino, n.EntryOff, lastOff[n.Ino])
+		}
+		lastOff[n.Ino] = n.EntryOff
+	}
+	if len(lastOff) != 5 {
+		t.Fatalf("saw %d inodes, want 5", len(lastOff))
 	}
 	enq, deq := q.Counts()
-	if enq != 5 || deq != 5 {
+	if enq != 10 || deq != 10 {
 		t.Fatalf("counts = %d/%d", enq, deq)
 	}
 }
@@ -213,9 +223,13 @@ func TestDWQSaveRestore(t *testing.T) {
 		t.Fatalf("restore: n=%d err=%v", n, err)
 	}
 	nodes := q2.DequeueBatch(0)
-	for i, nd := range nodes {
-		if nd.Ino != uint64(i+1) || nd.EntryOff != uint64(i+1)*64 {
-			t.Fatalf("node %d = %+v", i, nd)
+	seen := make(map[uint64]uint64, len(nodes))
+	for _, nd := range nodes {
+		seen[nd.Ino] = nd.EntryOff
+	}
+	for i := uint64(1); i <= 10; i++ {
+		if seen[i] != i*64 {
+			t.Fatalf("node ino=%d entryOff=%d, want %d", i, seen[i], i*64)
 		}
 	}
 }

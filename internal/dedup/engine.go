@@ -1,6 +1,7 @@
 package dedup
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"denova/internal/fact"
@@ -11,10 +12,23 @@ import (
 // system and its FACT. It implements nova.BlockReleaser, so reclamation of
 // data pages consults the FACT reference counts (§IV-D3), and provides the
 // write hook that feeds the DWQ.
+//
+// ProcessEntry is safe for any number of concurrent callers: the inode lock
+// serializes transactions on one file, the FACT's striped chain locks
+// serialize lookups/inserts on one chain, and every count transfer is a
+// single atomic 8-byte persist, so no interleaving of workers can expose a
+// state the single-threaded daemon could not (see DESIGN.md "Parallel
+// dedup").
 type Engine struct {
 	fs    *nova.FS
 	table *fact.Table
 	dwq   *DWQ
+
+	// quiesce is held shared by every dedup consumer (daemon workers,
+	// Drain, inline writes) for the duration of a batch, and exclusively by
+	// the scrubber, whose unreferenced-stays-unreferenced argument needs
+	// all consumers parked at a batch boundary.
+	quiesce sync.RWMutex
 
 	stats Stats
 }
@@ -180,13 +194,16 @@ func (e *Engine) ProcessEntry(node Node) bool {
 	e.fs.CommitLocked(in)
 	nova.SetDedupeFlag(e.fs.Dev, node.EntryOff, nova.FlagInProcess)
 
-	// ⑥ Transfer UC→RFC for every open transaction.
+	// ⑥ Transfer UC→RFC for every open transaction — batched: one CAS +
+	// flush per counts word, one fence for the whole entry.
+	commitIdxs := make([]uint64, 0, len(txns))
 	for _, txn := range txns {
 		if txn.aborted {
 			continue
 		}
-		e.table.CommitTxn(txn.factIdx)
+		commitIdxs = append(commitIdxs, txn.factIdx)
 	}
+	e.table.CommitTxnBatch(commitIdxs)
 	// Remap duplicate pages onto their canonical blocks; the shadowed
 	// duplicate copies flow through Release → no FACT entry → freed.
 	for _, ae := range newEntries {

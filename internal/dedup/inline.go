@@ -20,6 +20,11 @@ func (e *Engine) WriteInline(in *nova.Inode, off uint64, data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
+	// An inline write is a dedup consumer too: hold the scrub-quiescing
+	// lock (shared) so a concurrent scrubber never observes its open UCs as
+	// leaked (lock order: quiesce → inode → FACT stripe).
+	e.quiesce.RLock()
+	defer e.quiesce.RUnlock()
 	in.Lock()
 	defer in.Unlock()
 

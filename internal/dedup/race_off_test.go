@@ -1,0 +1,5 @@
+//go:build !race
+
+package dedup
+
+const raceEnabled = false

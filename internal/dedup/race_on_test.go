@@ -1,0 +1,8 @@
+//go:build race
+
+package dedup
+
+// raceEnabled reports whether the race detector is compiled in. The torture
+// and parallel crash-sweep tests shrink their op budgets under
+// instrumentation, which slows pure-Go code by an order of magnitude.
+const raceEnabled = true

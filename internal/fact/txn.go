@@ -182,6 +182,38 @@ func (t *Table) CommitTxn(idx uint64) bool {
 	}
 }
 
+// CommitTxnBatch commits a set of open transactions with one fence: each
+// entry's counts word is transferred UC→RFC by an atomic CAS and flushed
+// individually, and a single trailing fence orders the whole batch. The
+// counts word is the only commit record (count-based consistency), so the
+// entries need no mutual ordering — a crash exposes some flushed prefix of
+// independent single-word commits, exactly as if they had been committed
+// one by one. Saves one fence per entry on the worker hot path.
+func (t *Table) CommitTxnBatch(idxs []uint64) int {
+	committed := 0
+	for _, idx := range idxs {
+		off := t.entryOff(idx) + feCounts
+		for {
+			w := t.dev.Load64(off)
+			rfc, uc := uint32(w), uint32(w>>32)
+			if uc == 0 {
+				break
+			}
+			nw := uint64(rfc+1) | uint64(uc-1)<<32
+			if t.dev.CAS64(off, w, nw) {
+				t.dev.Flush(off, 8) //denova:persist-ok fenced once for the whole batch below
+				atomic.AddInt64(&t.stats.Commits, 1)
+				committed++
+				break
+			}
+		}
+	}
+	if committed > 0 {
+		t.dev.Fence()
+	}
+	return committed
+}
+
 // AbortTxn drops a pending update count without transferring it to the
 // RFC. Used when the engine discovers the transaction is a no-op — e.g. a
 // re-processed entry whose page already owns its FACT entry (recovery

@@ -179,6 +179,9 @@ func TestValidateModel(t *testing.T) {
 }
 
 func TestMeasureDeviceProfiles(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock profile-ordering comparison is timing-sensitive; skipped under -race")
+	}
 	rows := MeasureDeviceProfiles(50)
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))

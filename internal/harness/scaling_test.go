@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"denova/internal/pmem"
+)
+
+// profileOptaneInterleaved is the scaling bench's device: Optane media
+// timings without the bandwidth-sharing governor, modelling a namespace
+// interleaved across several DIMMs where each worker effectively drives its
+// own device queue. This isolates the software pipeline's scalability —
+// with sharing enabled the device itself serializes the pool and the bench
+// would measure media saturation, not the worker pool.
+var profileOptaneInterleaved = pmem.LatencyProfile{
+	Name:               "optane-interleaved",
+	ReadAccessOverhead: 250 * time.Nanosecond,
+	ReadPerLine:        40 * time.Nanosecond,
+	WritePerLine:       35 * time.Nanosecond,
+	FlushOverhead:      20 * time.Nanosecond,
+	FenceOverhead:      15 * time.Nanosecond,
+}
+
+// TestWorkerScalingSmoke is the CI gate on the parallel dedup pipeline:
+// a 4-worker pool must never drain slower than 90% of a single worker
+// (no-regression), and on hosts with at least 4 CPUs it must show real
+// scaling. Throughputs are medians of three runs.
+func TestWorkerScalingSmoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("scaling bench is timing-sensitive; skipped under -race")
+	}
+	if testing.Short() {
+		t.Skip("scaling bench skipped in -short mode")
+	}
+	spec := ScalingSpec{
+		Files:        64,
+		PagesPerFile: 16,
+		DupRatio:     0.5,
+		Seed:         7,
+		Profile:      profileOptaneInterleaved,
+	}
+	const runs = 3
+	tput := map[int][]float64{}
+	for i := 0; i < runs; i++ {
+		res, err := MeasureWorkerScaling([]int{1, 4}, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			tput[r.Workers] = append(tput[r.Workers], r.NodesPerSec)
+		}
+	}
+	t1, t4 := median(tput[1]), median(tput[4])
+	speedup := t4 / t1
+	t.Logf("dedup drain throughput: 1 worker %.0f nodes/s, 4 workers %.0f nodes/s (%.2fx, GOMAXPROCS=%d)",
+		t1, t4, speedup, runtime.GOMAXPROCS(0))
+	if t4 < 0.9*t1 {
+		t.Errorf("4 workers regress single-worker throughput by >10%%: %.0f vs %.0f nodes/s", t4, t1)
+	}
+	if runtime.GOMAXPROCS(0) >= 4 && speedup < 2.0 {
+		t.Errorf("expected >=2x drain throughput with 4 workers on a %d-CPU host, got %.2fx",
+			runtime.GOMAXPROCS(0), speedup)
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] < s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+	return s[len(s)/2]
+}

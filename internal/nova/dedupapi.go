@@ -72,14 +72,14 @@ func (fs *FS) FreeDataBlock(block uint64) bool { return fs.freeData(block) }
 // WalkFiles calls fn for every regular file inode. Used by the FACT
 // scrubber to build its in-use bitmap. fn must not mutate the filesystem.
 func (fs *FS) WalkFiles(fn func(in *Inode)) {
-	fs.imu.Lock()
+	fs.imu.RLock()
 	files := make([]*Inode, 0, len(fs.inodes))
 	for _, in := range fs.inodes {
 		if !in.dir {
 			files = append(files, in)
 		}
 	}
-	fs.imu.Unlock()
+	fs.imu.RUnlock()
 	for _, in := range files {
 		fn(in)
 	}

@@ -30,7 +30,7 @@ type FS struct {
 
 	alloc *Allocator
 
-	imu     sync.Mutex
+	imu     sync.RWMutex // guards inodes/inUse/inoHint; read-locked on hot lookup paths
 	inodes  map[uint64]*Inode
 	inUse   []bool // inode slot bitmap
 	inoHint uint64 // next slot to try (keeps allocation O(1) amortized)
@@ -203,9 +203,9 @@ func (fs *FS) releaseInodeSlot(ino uint64) {
 
 // Inode returns the DRAM inode for ino.
 func (fs *FS) Inode(ino uint64) (*Inode, bool) {
-	fs.imu.Lock()
+	fs.imu.RLock()
 	in, ok := fs.inodes[ino]
-	fs.imu.Unlock()
+	fs.imu.RUnlock()
 	return in, ok
 }
 
@@ -265,12 +265,12 @@ func (fs *FS) Stats() Stats {
 // Unmount persists DRAM inode state (sizes, tails) and marks the superblock
 // clean. The FS must not be used afterwards.
 func (fs *FS) Unmount() error {
-	fs.imu.Lock()
+	fs.imu.RLock()
 	inos := make([]*Inode, 0, len(fs.inodes))
 	for _, in := range fs.inodes {
 		inos = append(inos, in)
 	}
-	fs.imu.Unlock()
+	fs.imu.RUnlock()
 	for _, in := range inos {
 		in.mu.Lock()
 		fs.updateInodeSummary(in)

@@ -26,12 +26,12 @@ import (
 // blockHeld, when non-nil, reports whether an unreachable block is
 // legitimately held by the deduplication layer (FACT entry with RFC > 0).
 func (fs *FS) Fsck(blockHeld func(block uint64) bool) error {
-	fs.imu.Lock()
+	fs.imu.RLock()
 	inodes := make([]*Inode, 0, len(fs.inodes))
 	for _, in := range fs.inodes {
 		inodes = append(inodes, in)
 	}
-	fs.imu.Unlock()
+	fs.imu.RUnlock()
 
 	reachable := make(map[uint64]bool)
 	owners := make(map[uint64]int) // data block -> reference count
@@ -137,6 +137,7 @@ func (fs *FS) fsckInodeLocked(in *Inode, reachable map[uint64]bool, owners map[u
 			if err != nil {
 				return true
 			}
+			live[pageOfOff(off)]++ // the truncate entry's page pin
 			firstGone := (size + PageSize - 1) / PageSize
 			var drop []uint64
 			replay.Walk(func(pg uint64, _ rtree.Value) bool {

@@ -191,6 +191,10 @@ func (fs *FS) thoroughGCLocked(in *Inode) int {
 		newLive[pageOfOff(p.newOff)] += int(p.run.n)
 	}
 	newLive[tailPage] = in.live[tailPage]
+	// Pin the compacted chain's truncate entry like any other (see
+	// Truncate): its page must survive fast GC even with every copied
+	// write entry dead.
+	newLive[newPages[len(runs)/EntriesPerLogPage]]++
 	reclaimed := 0
 	for _, old := range in.logPages {
 		if old != tailPage {

@@ -254,6 +254,7 @@ func (fs *FS) replayFile(in *Inode, res *ScanResult) (uint64, uint64, error) {
 				decodeErr = fmt.Errorf("nova: inode %d: entry %#x: %w", in.ino, off, err)
 				return false
 			}
+			in.addLiveLocked(off, 1) // truncate entries pin their page (see Truncate)
 			fs.replayTruncateLocked(in, size)
 			if seq > maxSeq {
 				maxSeq = seq

@@ -105,10 +105,18 @@ func (fs *FS) Truncate(in *Inode, size uint64, flag uint8) error {
 		}
 		tailEntryOff = off
 	}
-	if _, err := fs.appendEntryLocked(in, encodeTruncateEntry(in.ino, size, fs.nextSeq())); err != nil {
+	truncOff, err := fs.appendEntryLocked(in, encodeTruncateEntry(in.ino, size, fs.nextSeq()))
+	if err != nil {
 		return err
 	}
 	fs.commitTailLocked(in)
+	// The truncate entry pins its log page (a live reference that is never
+	// dropped): live counts track only write-entry references, and a page
+	// whose writes are all dead may still hold a truncate entry that earlier
+	// surviving entries depend on — fast-GC'ing it would resurrect the
+	// truncated mappings at replay. Thorough GC releases the pin when it
+	// rewrites the chain as a snapshot.
+	in.addLiveLocked(truncOff, 1)
 	if tailRemap != nil {
 		fs.RemapLocked(in, tailRemap.PgOff, tailRemap.Block, tailEntryOff)
 		if fs.onWrite != nil && flag == FlagNeeded {

@@ -241,3 +241,83 @@ func TestFsckDetectsRadixCorruption(t *testing.T) {
 		t.Fatal("fsck missed radix/log divergence")
 	}
 }
+
+// TestFastGCPreservesTruncateEntry is the regression test for a replay
+// corruption: fast GC tracked only write-entry references, so a log page
+// whose write entries were all dead could be unlinked even though it still
+// held a truncate entry. Earlier surviving write entries then resurrected
+// the truncated mappings at replay — pointing file pages at blocks long
+// since freed. Truncate entries now pin their page until thorough GC
+// rewrites the chain.
+func TestFastGCPreservesTruncateEntry(t *testing.T) {
+	t.Parallel()
+	dev, fs := mkfsT(t)
+	in, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log page 1, slot 0: a two-page write. The truncate below kills its
+	// pg 1 but pg 0 keeps the entry (and with it the page) alive — exactly
+	// the "earlier surviving entry" whose pg 1 a lost truncate entry would
+	// resurrect.
+	if _, err := fs.Write(in, 0, patternData(2*PageSize, 1), FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	// Slots 1..62: self-shadowing writes to pg 3 fill page 1.
+	for i := 0; i < EntriesPerLogPage-1; i++ {
+		if _, err := fs.Write(in, 3*PageSize, patternData(PageSize, byte(i)), FlagNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Log page 2, slot 0: a write to pg 2; slot 1: the truncate, killing
+	// pg 1 (page-1 entry), pg 2 and pg 3 (page-2/page-1 entries). Page 2's
+	// only write entry is now dead.
+	if _, err := fs.Write(in, 2*PageSize, patternData(PageSize, 9), FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate(in, PageSize, FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	// Slots 2..62 of page 2: self-shadowing writes to pg 4; then one more
+	// write moves the tail to page 3 and kills page 2's last write ref.
+	// Without the truncate pin, page 2 (all write refs dead, no longer the
+	// tail) is fast-GC'd here and the truncate entry is lost.
+	for i := 0; i < EntriesPerLogPage-2; i++ {
+		if _, err := fs.Write(in, 4*PageSize, patternData(PageSize, byte(i)), FlagNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.Write(in, 4*PageSize, patternData(PageSize, 77), FlagNone); err != nil {
+		t.Fatal(err)
+	}
+
+	// The live fsck replays the committed log against the radix: a lost
+	// truncate entry resurrects pg 1 and pg 3 in the replay.
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	// Remount a clone: recovery replays the same log. pg 1 and pg 3 must
+	// stay holes (zeros), not point at freed (and by now reusable) blocks.
+	rec, _, err := Mount(dev.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rin, err := rec.Lookup("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pg := range []uint64{1, 3} {
+		if _, _, ok := rin.Mapping(pg); ok {
+			t.Fatalf("truncated pg %d resurrected by replay after fast GC", pg)
+		}
+		got := readFileT(t, rec, rin, pg*PageSize, PageSize)
+		for i, b := range got {
+			if b != 0 {
+				t.Fatalf("pg %d byte %d = %#x, want 0 (hole)", pg, i, b)
+			}
+		}
+	}
+	if err := rec.Fsck(nil); err != nil {
+		t.Fatalf("fsck after remount: %v", err)
+	}
+}

@@ -36,12 +36,14 @@ const (
 )
 
 // SetCrashAfter arms the crash injector: the n-th future persist point
-// (1-based) panics with ErrCrashInjected. n <= 0 disarms.
+// (1-based) panics with ErrCrashInjected. n <= 0 disarms. Re-arming a device
+// that already crashed revives it for a fresh experiment.
 func (d *Device) SetCrashAfter(n int64) {
 	if n <= 0 {
 		atomic.StoreInt32(&d.crashArmed, 0)
 		return
 	}
+	atomic.StoreInt32(&d.dead, 0)
 	atomic.StoreInt64(&d.crashAt, atomic.LoadInt64(&d.persistOps)+n)
 	atomic.StoreInt32(&d.crashArmed, 1)
 }
@@ -50,10 +52,31 @@ func (d *Device) SetCrashAfter(n int64) {
 // operation once unarmed, read this counter, and you know the sweep range.
 func (d *Device) PersistOps() int64 { return atomic.LoadInt64(&d.persistOps) }
 
+// Crashed reports whether an injected crash has fired and the device is
+// frozen. Accesses through the normal read/write API panic with
+// ErrCrashInjected until the injector is re-armed; CrashImage and Clone
+// remain usable (they inspect the corpse directly).
+func (d *Device) Crashed() bool { return atomic.LoadInt32(&d.dead) == 1 }
+
+// checkDead freezes the device after an injected crash: with several
+// goroutines driving the device only one of them unwinds through the
+// panicking persist point, and without this gate the survivors would keep
+// mutating (and persisting!) state that is supposed to be dead silicon.
+// Every survivor instead observes the same ErrCrashInjected on its next
+// access and unwinds too. A store that was already past the gate when the
+// crash fired is indistinguishable from the crash landing one interleaving
+// later, so the exposed images remain exactly the reachable crash states.
+func (d *Device) checkDead() {
+	if atomic.LoadInt32(&d.dead) == 1 {
+		panic(ErrCrashInjected)
+	}
+}
+
 func (d *Device) persistPoint() {
 	n := atomic.AddInt64(&d.persistOps, 1)
 	if atomic.LoadInt32(&d.crashArmed) == 1 && n == atomic.LoadInt64(&d.crashAt) {
 		atomic.StoreInt32(&d.crashArmed, 0)
+		atomic.StoreInt32(&d.dead, 1)
 		panic(ErrCrashInjected)
 	}
 }

@@ -78,6 +78,7 @@ type Device struct {
 	crashArmed int32 // 1 when crashAt is active
 	crashAt    int64 // persist-op ordinal that triggers the crash
 	persistOps int64
+	dead       int32 // 1 after an injected crash fired; device is frozen
 }
 
 // New creates a device of the given size (rounded up to a page multiple)
@@ -127,6 +128,7 @@ func linesSpanned(off int64, n int) int64 {
 // latency) plus per-line read cost (media bandwidth).
 func (d *Device) Read(off int64, p []byte) {
 	d.check(off, len(p))
+	d.checkDead()
 	lines := linesSpanned(off, len(p))
 	atomic.AddInt64(&d.stats.ReadLines, lines)
 	atomic.AddInt64(&d.stats.ReadBytes, int64(len(p)))
@@ -139,6 +141,7 @@ func (d *Device) Read(off int64, p []byte) {
 // charged (store latency is DRAM-like on Optane thanks to the write buffer).
 func (d *Device) Write(off int64, p []byte) {
 	d.check(off, len(p))
+	d.checkDead()
 	atomic.AddInt64(&d.stats.WrittenBytes, int64(len(p)))
 	d.saveOld(off, len(p))
 	copy(d.buf[off:], p)
@@ -149,6 +152,7 @@ func (d *Device) Write(off int64, p []byte) {
 // persist point for crash injection. Media write latency is charged.
 func (d *Device) WriteNT(off int64, p []byte) {
 	d.check(off, len(p))
+	d.checkDead()
 	if len(p) == 0 {
 		return
 	}
@@ -197,6 +201,7 @@ func (d *Device) WriteNT(off int64, p []byte) {
 // media write latency per line. Each line is a persist point.
 func (d *Device) Flush(off int64, n int) {
 	d.check(off, n)
+	d.checkDead()
 	if n <= 0 {
 		return
 	}
@@ -219,6 +224,7 @@ func (d *Device) Flush(off int64, n int) {
 // so Fence only charges its overhead and counts the event; it is kept in the
 // API so call sites document the ordering they rely on.
 func (d *Device) Fence() {
+	d.checkDead()
 	atomic.AddInt64(&d.stats.Fences, 1)
 	if d.ShadowEnabled() {
 		d.shadowFence()
@@ -237,6 +243,7 @@ func (d *Device) Persist(off int64, n int) {
 // be 8-byte aligned. Charged as a one-line media read.
 func (d *Device) Load64(off int64) uint64 {
 	d.check(off, 8)
+	d.checkDead()
 	if off%8 != 0 {
 		panic("pmem: unaligned Load64")
 	}
@@ -255,6 +262,7 @@ func (d *Device) Load64(off int64) uint64 {
 // "atomic 64-bit write" NOVA and FACT consistency rely on.
 func (d *Device) Store64(off int64, v uint64) {
 	d.check(off, 8)
+	d.checkDead()
 	if off%8 != 0 {
 		panic("pmem: unaligned Store64")
 	}
@@ -276,6 +284,7 @@ func (d *Device) PersistStore64(off int64, v uint64) {
 // store, if it happens, is cached (flush separately to persist).
 func (d *Device) CAS64(off int64, old, new uint64) bool {
 	d.check(off, 8)
+	d.checkDead()
 	if off%8 != 0 {
 		panic("pmem: unaligned CAS64")
 	}
@@ -297,6 +306,7 @@ func (d *Device) CAS64(off int64, old, new uint64) bool {
 // returns the new value. Cached store semantics.
 func (d *Device) Add64(off int64, delta uint64) uint64 {
 	d.check(off, 8)
+	d.checkDead()
 	if off%8 != 0 {
 		panic("pmem: unaligned Add64")
 	}

@@ -28,13 +28,25 @@ func (s SpaceStats) Savings() float64 {
 	return 1 - float64(s.PhysicalPages)/float64(s.LogicalPages)
 }
 
+// QueueStats describes the deduplication work queue: aggregate depth plus
+// the per-shard breakdown the parallel pipeline exposes.
+type QueueStats struct {
+	Len      int   // nodes currently queued
+	Peak     int   // high-water mark (DRAM footprint, §V-B2)
+	Enqueued int64 // lifetime enqueues
+	Dequeued int64 // lifetime dequeues
+	Shards   []int // current depth of each inode shard
+}
+
 // Stats is a combined snapshot across all layers.
 type Stats struct {
-	Space  SpaceStats
-	FS     nova.Stats
-	Dedup  dedup.Stats // zero value in ModeNone
-	Fact   fact.Stats  // zero value in ModeNone
-	Device pmem.Stats
+	Space   SpaceStats
+	FS      nova.Stats
+	Dedup   dedup.Stats        // zero value in ModeNone
+	Fact    fact.Stats         // zero value in ModeNone
+	Queue   QueueStats         // zero value in ModeNone/ModeInline
+	Workers []dedup.WorkerStat // per-worker utilization; nil when no daemon runs
+	Device  pmem.Stats
 }
 
 // Stats gathers a snapshot. It walks every file's mappings to compute the
@@ -47,6 +59,18 @@ func (f *FS) Stats() Stats {
 	if f.engine != nil {
 		st.Dedup = f.engine.Stats()
 		st.Fact = f.table.Stats()
+		q := f.engine.DWQ()
+		enq, deq := q.Counts()
+		st.Queue = QueueStats{
+			Len:      q.Len(),
+			Peak:     q.Peak(),
+			Enqueued: enq,
+			Dequeued: deq,
+			Shards:   q.ShardLens(),
+		}
+	}
+	if f.daemon != nil {
+		st.Workers = f.daemon.WorkerStats()
 	}
 	distinct := make(map[uint64]bool)
 	var logical int64
