@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint test race torture bench clean
+.PHONY: all build lint test race torture bench bench-recovery clean
 
 all: build lint test
 
@@ -21,13 +21,19 @@ race:
 
 # torture = the parallel-dedup concurrency gates: the writer/worker/GC
 # torture test and all crash sweeps under the race detector, plus the
-# worker-scaling no-regression smoke.
+# worker-scaling and recovery no-regression smokes.
 torture:
 	$(GO) test -race -run 'Torture|Crash' -count=2 ./internal/...
 	$(GO) test -run TestWorkerScalingSmoke -v ./internal/harness/
+	$(GO) test -run 'TestRecoverySmoke|TestRecoveryScalingSmoke' -v ./internal/harness/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-recovery = mount-time recovery latency across worker-pool sizes
+# on a multi-thousand-file dirty image.
+bench-recovery:
+	$(GO) test -bench BenchmarkRecovery -benchtime 1x -run '^$$' .
 
 clean:
 	$(GO) clean ./...

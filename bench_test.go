@@ -335,6 +335,52 @@ func BenchmarkFACTLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkRecovery measures mount-time recovery wall clock as a function
+// of the recovery worker-pool size on a crashed multi-thousand-file image
+// (half the files still await deduplication at the crash point). Reports
+// per-pass medians through RecoveryInfo; the CI gates on these paths are
+// TestRecoverySmoke (determinism) and TestRecoveryScalingSmoke (speedup)
+// in internal/harness.
+func BenchmarkRecovery(b *testing.B) {
+	spec := harness.RecoverySpec{
+		Files:        2048,
+		PagesPerFile: 4,
+		DupRatio:     0.5,
+		DirtyFrac:    0.5,
+		Seed:         7,
+		Profile:      pmem.ProfileOptaneInterleaved,
+	}
+	img, err := harness.BuildRecoveryImage(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dev := img.Clone()
+				b.StartTimer()
+				start := time.Now()
+				fs, info, err := denova.Mount(dev, denova.Config{
+					Mode:     denova.ModeImmediate,
+					NoDaemon: true,
+					Workers:  w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += time.Since(start)
+				_ = info
+				b.StopTimer()
+				fs.UnmountDirty()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "mount-ms")
+		})
+	}
+}
+
 // BenchmarkWorkerScaling measures background dedup drain throughput as a
 // function of the daemon's worker-pool size: the DWQ is filled while the
 // daemon is stopped, then an N-worker pool alone drains it. Uses an

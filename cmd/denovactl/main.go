@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	denovactl -img fs.img [-mode immediate] <command> [args]
+//	denovactl -img fs.img [-mode immediate] [-workers N] <command> [args]
 //
 // Commands:
 //
@@ -17,7 +17,8 @@
 //	mkdir <path>                   create a directory
 //	rmdir <path>                   remove an empty directory
 //	rm <path>                      delete a file
-//	stats                          space, dedup and device statistics
+//	stats                          space, dedup, device and recovery statistics
+//	                               (incl. the mount's per-pass recovery timeline)
 //	fsck                           deep-verify file system + FACT invariants
 //	scrub                          run one FACT scrubber pass
 package main
@@ -36,9 +37,10 @@ import (
 )
 
 var (
-	img  = flag.String("img", "denova.img", "device image file")
-	mode = flag.String("mode", "immediate", "dedup mode: none, inline, immediate, delayed")
-	size = flag.String("size", "256M", "device size for mkfs (e.g. 64M, 1G)")
+	img     = flag.String("img", "denova.img", "device image file")
+	mode    = flag.String("mode", "immediate", "dedup mode: none, inline, immediate, delayed")
+	size    = flag.String("size", "256M", "device size for mkfs (e.g. 64M, 1G)")
+	workers = flag.Int("workers", 0, "recovery and dedup worker-pool size (0 = min(GOMAXPROCS, 8))")
 )
 
 func parseMode(s string) (denova.Mode, error) {
@@ -82,7 +84,7 @@ func cfg() denova.Config {
 	if err != nil {
 		fatal(err)
 	}
-	return denova.Config{Mode: m, DelayInterval: 250 * time.Millisecond, DelayBatch: 10000}
+	return denova.Config{Mode: m, DelayInterval: 250 * time.Millisecond, DelayBatch: 10000, Workers: *workers}
 }
 
 // loadImage reads the image file into a fresh device (zero latency: this is
@@ -238,6 +240,21 @@ func main() {
 				i, w.Batches, w.Nodes, time.Duration(w.BusyNs))
 		}
 		fmt.Printf("device:          %s\n", st.Device)
+		if rec := fs.Recovery(); rec != nil {
+			state := "clean"
+			if !rec.Clean {
+				state = "dirty"
+			}
+			fmt.Printf("recovery:        %s mount, %d workers, %s total\n",
+				state, rec.Workers, rec.TotalWall().Round(time.Microsecond))
+			fmt.Printf("                 %d orphans, %d repairs persisted, %d corrupt dentries, %d log pages GCed\n",
+				len(rec.Orphans), rec.RepairsPersisted, rec.DentryCorrupt, rec.GCPages)
+			fmt.Printf("                 dedup: %d resumed, %d requeued, %d scrubbed\n",
+				rec.Dedup.Resumed, rec.Dedup.Requeued, rec.Dedup.ScrubDropped)
+			for _, p := range rec.Passes {
+				fmt.Printf("  pass %-15s %12s  %s\n", p.Name, p.Wall.Round(time.Microsecond), p.Pmem)
+			}
+		}
 		fs.Unmount()
 
 	case "mkdir":

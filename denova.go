@@ -23,6 +23,7 @@ package denova
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"denova/internal/dedup"
@@ -131,7 +132,13 @@ type FS struct {
 	table  *fact.Table
 	engine *dedup.Engine
 	daemon *dedup.Daemon
+
+	recovery *RecoveryInfo // report of the mount that produced this FS
 }
+
+// Recovery returns the mount-time recovery report, or nil for a freshly
+// formatted (Mkfs) file system.
+func (f *FS) Recovery() *RecoveryInfo { return f.recovery }
 
 // Mkfs formats the device and mounts a fresh file system.
 func Mkfs(dev *Device, cfg Config) (*FS, error) {
@@ -155,15 +162,45 @@ func Mkfs(dev *Device, cfg Config) (*FS, error) {
 	return f, nil
 }
 
+// RecoveryPass records the cost of one mount/recovery pass: its wall-clock
+// time and the device access counters it consumed.
+type RecoveryPass = nova.RecoveryPass
+
 // RecoveryInfo reports what mount-time recovery found and repaired.
 type RecoveryInfo struct {
 	// Clean is true when the device was cleanly unmounted.
 	Clean bool
-	// Orphans lists inode numbers reclaimed by the namespace scan.
+	// Workers is the resolved recovery pool size the mount ran with.
+	Workers int
+	// Orphans lists inode numbers reclaimed by the namespace scan,
+	// ascending.
 	Orphans []uint64
+	// RepairsPersisted counts dangling-dentry prunings committed to
+	// directory logs during the mount.
+	RepairsPersisted int
+	// DentryCorrupt counts structurally invalid dentry records skipped
+	// (and surfaced) by the directory replay.
+	DentryCorrupt int
+	// GCPages counts dead file log pages reclaimed by the end-of-mount
+	// fast-GC sweep.
+	GCPages int
+	// Passes is the full mount timeline: the nova passes (inode-scan,
+	// namespace, log-replay, alloc-rebuild, repairs, log-gc) followed by
+	// the dedup recovery phases (fact-structure, dedup-resume, zero-uc,
+	// fact-scrub, dwq-rebuild).
+	Passes []RecoveryPass
 	// Dedup carries the §V-C dedup recovery report (zero value for
 	// ModeNone).
 	Dedup dedup.RecoveryReport
+}
+
+// TotalWall sums the wall-clock time of all recorded passes.
+func (r *RecoveryInfo) TotalWall() time.Duration {
+	var d time.Duration
+	for _, p := range r.Passes {
+		d += p.Wall
+	}
+	return d
 }
 
 // Mount opens a previously formatted device. The Config must use a dedup
@@ -172,27 +209,59 @@ type RecoveryInfo struct {
 // freed while still referenced).
 func Mount(dev *Device, cfg Config) (*FS, *RecoveryInfo, error) {
 	cfg.fill()
-	var opts []nova.Option
-	nfs, scan, err := nova.Mount(dev, opts...)
+	workers := resolveWorkers(cfg.Workers)
+	nfs, scan, err := nova.Mount(dev, nova.WithMountWorkers(workers))
 	if err != nil {
 		return nil, nil, err
 	}
 	f := &FS{dev: dev, cfg: cfg, fs: nfs}
-	info := &RecoveryInfo{Clean: scan.Clean, Orphans: scan.Orphans}
+	info := &RecoveryInfo{
+		Clean:            scan.Clean,
+		Workers:          workers,
+		Orphans:          scan.Orphans,
+		RepairsPersisted: scan.RepairsPersisted,
+		DentryCorrupt:    scan.DentryCorrupt,
+		GCPages:          scan.GCPages,
+		Passes:           scan.Passes,
+	}
 	table := fact.Attach(dev, factConfig(nfs.Geo))
+	table.RecoveryWorkers = workers
 	if cfg.Mode == ModeNone {
+		start := time.Now()
+		before := dev.Stats()
 		table.RecoverStructure()
+		info.Passes = append(info.Passes, RecoveryPass{
+			Name: "fact-structure",
+			Wall: time.Since(start),
+			Pmem: dev.Stats().Sub(before),
+		})
 		if table.LiveEntries() > 0 {
 			return nil, nil, fmt.Errorf("denova: device holds deduplicated data; mount with a dedup mode, not ModeNone")
 		}
+		f.recovery = info
 		return f, info, nil
 	}
 	f.table = table
 	f.table.ReorderEnabled = !cfg.DisableReorder
 	f.engine = dedup.NewEngine(nfs, f.table)
 	info.Dedup = dedup.Recover(f.engine, scan)
+	info.Passes = append(info.Passes, info.Dedup.Passes...)
+	f.recovery = info
 	f.wireMode()
 	return f, info, nil
+}
+
+// resolveWorkers mirrors the pool sizing used by the dedup daemon and the
+// mount scanner: <= 0 selects GOMAXPROCS capped at 8.
+func resolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	n = runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
 }
 
 func factConfig(g nova.Geometry) fact.Config {

@@ -1,8 +1,11 @@
 package dedup
 
 import (
+	"time"
+
 	"denova/internal/fact"
 	"denova/internal/nova"
+	"denova/internal/pmem"
 )
 
 // RecoveryReport summarizes the dedup-level recovery of §V-C.
@@ -21,6 +24,23 @@ type RecoveryReport struct {
 	// ScrubDropped counts FACT entries invalidated because their block was
 	// reclaimed by the rebuilt free list (§V-C2).
 	ScrubDropped int
+	// Passes is the per-phase timing/device-access breakdown of the dedup
+	// recovery, in execution order. denova.Mount appends it to the nova
+	// pass list so a full mount reads as one timeline.
+	Passes []nova.RecoveryPass
+}
+
+// timedPhase runs fn and appends its wall-clock and device-counter cost to
+// rep.Passes.
+func timedPhase(dev *pmem.Device, rep *RecoveryReport, name string, fn func()) {
+	start := time.Now()
+	before := dev.Stats()
+	fn()
+	rep.Passes = append(rep.Passes, nova.RecoveryPass{
+		Name: name,
+		Wall: time.Since(start),
+		Pmem: dev.Stats().Sub(before),
+	})
 }
 
 // Recover brings the dedup state machine up after a mount, in the order
@@ -44,61 +64,71 @@ func Recover(e *Engine, scan *nova.ScanResult) RecoveryReport {
 	fs, table := e.fs, e.table
 
 	// (1) Structure.
-	rep.Fact = table.RecoverStructure()
+	timedPhase(fs.Dev, &rep, "fact-structure", func() {
+		rep.Fact = table.RecoverStructure()
+	})
 
 	// (2) Resume in-process transactions.
-	for _, ref := range scan.InProcess {
-		in, ok := fs.Inode(ref.Ino)
-		if !ok {
-			continue // the file was an orphan; its blocks are gone
-		}
-		in.Lock()
-		we, err := nova.ReadWriteEntry(fs.Dev, ref.Off)
-		if err == nil && we.Ino == ref.Ino && we.DedupeFlag == nova.FlagInProcess {
-			// Step ⑥ resumed: commit the pending count of each data page
-			// this entry references. For a target entry, unique pages hold
-			// their own FACT entries and duplicate pages' original blocks
-			// have none (their canonical counterparts are committed through
-			// the appended one-page entries, which are in this list too).
-			for i := uint64(0); i < uint64(we.NumPages); i++ {
-				table.CommitTxnByBlock(we.Block + i)
+	timedPhase(fs.Dev, &rep, "dedup-resume", func() {
+		for _, ref := range scan.InProcess {
+			in, ok := fs.Inode(ref.Ino)
+			if !ok {
+				continue // the file was an orphan; its blocks are gone
 			}
-			nova.SetDedupeFlag(fs.Dev, ref.Off, nova.FlagComplete)
-			rep.Resumed++
+			in.Lock()
+			we, err := nova.ReadWriteEntry(fs.Dev, ref.Off)
+			if err == nil && we.Ino == ref.Ino && we.DedupeFlag == nova.FlagInProcess {
+				// Step ⑥ resumed: commit the pending count of each data page
+				// this entry references. For a target entry, unique pages hold
+				// their own FACT entries and duplicate pages' original blocks
+				// have none (their canonical counterparts are committed through
+				// the appended one-page entries, which are in this list too).
+				for i := uint64(0); i < uint64(we.NumPages); i++ {
+					table.CommitTxnByBlock(we.Block + i)
+				}
+				nova.SetDedupeFlag(fs.Dev, ref.Off, nova.FlagComplete)
+				rep.Resumed++
+			}
+			in.Unlock()
 		}
-		in.Unlock()
-	}
+	})
 
 	// (3) Discard the counts of transactions that never committed.
-	zs := table.ZeroAllUC()
-	rep.Fact.UCsDiscarded = zs.UCsDiscarded
-	rep.Fact.EntriesDropped += zs.EntriesDropped
+	timedPhase(fs.Dev, &rep, "zero-uc", func() {
+		zs := table.ZeroAllUC()
+		rep.Fact.UCsDiscarded = zs.UCsDiscarded
+		rep.Fact.EntriesDropped += zs.EntriesDropped
+	})
 
 	// (4) Scrub against the recovered block usage. Blocks dropped here are
 	// already free in the rebuilt allocator (they were absent from the
 	// usage bitmap), so no free-list action is needed.
-	ss, _ := table.Scrub(func(b uint64) bool {
-		idx := int64(b) - int64(fs.Geo.DataStartBlock)
-		return idx >= 0 && idx < int64(len(scan.UsedBlocks)) && scan.UsedBlocks[idx]
+	timedPhase(fs.Dev, &rep, "fact-scrub", func() {
+		ss, _ := table.Scrub(func(b uint64) bool {
+			idx := int64(b) - int64(fs.Geo.DataStartBlock)
+			return idx >= 0 && idx < int64(len(scan.UsedBlocks)) && scan.UsedBlocks[idx]
+		})
+		rep.ScrubDropped = ss.EntriesDropped
 	})
-	rep.ScrubDropped = ss.EntriesDropped
 
 	// (5) Rebuild the queue.
-	if scan.Clean && !scan.DWQOverflow {
-		if n, err := e.dwq.Restore(fs.Dev, fs.Geo.DWQSaveOff, fs.Geo.DWQSavePages); err == nil {
-			rep.RestoredFromSnapshot = true
-			rep.Requeued = n
+	timedPhase(fs.Dev, &rep, "dwq-rebuild", func() {
+		if scan.Clean && !scan.DWQOverflow {
+			if n, err := e.dwq.Restore(fs.Dev, fs.Geo.DWQSaveOff, fs.Geo.DWQSavePages); err == nil {
+				rep.RestoredFromSnapshot = true
+				rep.Requeued = n
+			}
 		}
-	}
-	if !rep.RestoredFromSnapshot {
-		for _, ref := range scan.NeedDedup {
-			e.dwq.Enqueue(Node{Ino: ref.Ino, EntryOff: ref.Off})
-			rep.Requeued++
+		if !rep.RestoredFromSnapshot {
+			for _, ref := range scan.NeedDedup {
+				e.dwq.Enqueue(Node{Ino: ref.Ino, EntryOff: ref.Off})
+				rep.Requeued++
+			}
 		}
-	}
-	// The snapshot is consumed either way; never restore it twice.
-	Invalidate(fs.Dev, fs.Geo.DWQSaveOff)
-	nova.SetDWQOverflowFlag(fs.Dev, false)
+		// The snapshot is consumed either way; never restore it twice.
+		Invalidate(fs.Dev, fs.Geo.DWQSaveOff)
+		nova.SetDWQOverflowFlag(fs.Dev, false)
+	})
 	return rep
 }
 

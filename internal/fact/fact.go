@@ -85,6 +85,11 @@ type Table struct {
 	DepthThreshold int
 	RFCThreshold   uint32
 
+	// RecoveryWorkers is the pool size for the mount-time recovery sweeps
+	// (RecoverStructure / ZeroAllUC / Scrub); <= 0 runs them sequentially.
+	// Any value produces the same persistent image (see recover.go).
+	RecoveryWorkers int
+
 	reorders reorderQueue
 	stats    Stats
 }

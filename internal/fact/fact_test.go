@@ -1,6 +1,7 @@
 package fact
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -804,5 +805,110 @@ func TestLookupReadOnly(t *testing.T) {
 	}
 	if _, _, found := tab.Lookup(fpWithPrefix(8, 2)); found {
 		t.Fatal("Lookup found a phantom")
+	}
+}
+
+func TestRecoverStructureTruncatesCycle(t *testing.T) {
+	t.Parallel()
+	dev, tab := newTable(t)
+	// Head + two IAA members, all committed.
+	var idxs []uint64
+	for i := byte(1); i <= 3; i++ {
+		res := mustBegin(t, tab, fpWithPrefix(5, i), tDataStart+uint64(i))
+		tab.CommitTxn(res.Idx)
+		idxs = append(idxs, res.Idx)
+	}
+	// Corrupt the tail's next pointer back into the chain, forming a cycle
+	// (as an interrupted reorder on a corrupted image could).
+	tab.setNext(idxs[2], idxs[1])
+
+	img := dev.CrashImage(pmem.CrashKeepDirty, 0)
+	rt := Attach(img, Config{Base: 0, PrefixBits: tPrefixBits, DataStart: tDataStart, NumData: tNumData})
+	rt.RecoverStructure() // must terminate
+	chain := rt.ChainOf(5)
+	if len(chain) != 3 {
+		t.Fatalf("chain after cycle truncation = %v, want the 3 real members", chain)
+	}
+	if got := rt.next(chain[2]); got != None {
+		t.Fatalf("tail next = %d after truncation, want None", got)
+	}
+	for i := byte(1); i <= 3; i++ {
+		if _, _, found := rt.Lookup(fpWithPrefix(5, i)); !found {
+			t.Fatalf("entry %d lost by cycle truncation", i)
+		}
+	}
+	checkInv(t, rt)
+}
+
+func TestRecoverStructureSelfCycle(t *testing.T) {
+	t.Parallel()
+	dev, tab := newTable(t)
+	res := mustBegin(t, tab, fpWithPrefix(9, 1), tDataStart+1)
+	tab.CommitTxn(res.Idx)
+	b := mustBegin(t, tab, fpWithPrefix(9, 2), tDataStart+2)
+	tab.CommitTxn(b.Idx)
+	tab.setNext(b.Idx, b.Idx) // IAA member points at itself
+
+	img := dev.CrashImage(pmem.CrashKeepDirty, 0)
+	rt := Attach(img, Config{Base: 0, PrefixBits: tPrefixBits, DataStart: tDataStart, NumData: tNumData})
+	rt.RecoverStructure()
+	if chain := rt.ChainOf(9); len(chain) != 2 {
+		t.Fatalf("chain = %v, want head + 1 member", chain)
+	}
+	checkInv(t, rt)
+}
+
+// TestRecoveryWorkersDeterministic runs the full recovery sequence over
+// clones of one messy image with 1 and 8 workers: the stats and the
+// resulting persistent image must match exactly.
+func TestRecoveryWorkersDeterministic(t *testing.T) {
+	t.Parallel()
+	dev, tab := newTable(t)
+	// A mix of committed entries, chains, open transactions (UC>0, some
+	// with RFC 0), and removed entries.
+	var openIdx []uint64
+	for p := uint64(0); p < 8; p++ {
+		for i := byte(1); i <= 4; i++ {
+			block := tDataStart + uint64(p*8) + uint64(i)
+			res := mustBegin(t, tab, fpWithPrefix(p, i), block)
+			switch i % 3 {
+			case 0: // left open: UC discarded at recovery, RFC 0 -> dropped
+				openIdx = append(openIdx, res.Idx)
+			case 1:
+				tab.CommitTxn(res.Idx)
+			case 2: // committed then re-referenced, left with a pending UC
+				tab.CommitTxn(res.Idx)
+				if res2, err := tab.BeginTxn(fpWithPrefix(p, i), block); err == nil && res2.Dup {
+					_ = res2
+				}
+			}
+		}
+	}
+	_ = openIdx
+
+	img1 := dev.Clone().CrashImage(pmem.CrashKeepDirty, 0)
+	img8 := dev.Clone().CrashImage(pmem.CrashKeepDirty, 0)
+	run := func(img *pmem.Device, workers int) (RecoverStats, []byte) {
+		rt := Attach(img, Config{Base: 0, PrefixBits: tPrefixBits, DataStart: tDataStart, NumData: tNumData})
+		rt.RecoveryWorkers = workers
+		rs := rt.RecoverStructure()
+		zs := rt.ZeroAllUC()
+		rs.add(zs)
+		ss, _ := rt.Scrub(func(b uint64) bool { return b%2 == 0 }) // drop odd blocks
+		rs.add(ss)
+		if err := rt.CheckInvariants(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		buf := make([]byte, img.Size())
+		img.Read(0, buf)
+		return rs, buf
+	}
+	rs1, b1 := run(img1, 1)
+	rs8, b8 := run(img8, 8)
+	if rs1 != rs8 {
+		t.Errorf("RecoverStats diverge:\n 1: %+v\n 8: %+v", rs1, rs8)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Error("post-recovery FACT images differ between 1 and 8 workers")
 	}
 }

@@ -1,6 +1,8 @@
 package fact
 
 import (
+	"sync"
+
 	"denova/internal/pmem"
 )
 
@@ -16,6 +18,17 @@ import (
 //
 // On a clean mount only Attach+RecoverStructure run (they also rebuild the
 // DRAM IAA free list, which is never persisted).
+//
+// All three passes shard their index sweeps across Table.RecoveryWorkers
+// goroutines. Sharding is safe and deterministic because the structure
+// decomposes: every IAA entry belongs to exactly one DAA chain, so chain
+// walks from distinct DAA heads touch disjoint entries; per-entry repairs
+// (orphan clears, UC discards) touch only their own slot; and mutations
+// that cross entries (chain unlinks via dropEntry) are collected during
+// the parallel read phase and applied single-threaded in ascending index
+// order, which yields the same persistent image as the sequential sweep
+// (unlinks of distinct entries commute, and removing an entry never moves
+// another: a removed DAA head stays in place as an unoccupied anchor).
 
 // Attach opens an existing FACT region without zeroing it. The IAA free
 // list starts empty; RecoverStructure rebuilds it.
@@ -36,72 +49,166 @@ type RecoverStats struct {
 	EntriesDropped  int // entries removed because RFC became 0 or block freed
 }
 
+// add accumulates o into s (per-worker RecoverStats reduction).
+func (s *RecoverStats) add(o RecoverStats) {
+	s.ReordersResumed += o.ReordersResumed
+	s.PrevsFixed += o.PrevsFixed
+	s.OrphansCleared += o.OrphansCleared
+	s.GhostsUnlinked += o.GhostsUnlinked
+	s.DelPtrsFixed += o.DelPtrsFixed
+	s.UCsDiscarded += o.UCsDiscarded
+	s.EntriesDropped += o.EntriesDropped
+}
+
+// recoveryWorkers resolves the pool size for the recovery sweeps.
+func (t *Table) recoveryWorkers() int {
+	w := t.RecoveryWorkers
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+// shardRanges splits [lo, hi) into at most w contiguous ascending ranges.
+func shardRanges(lo, hi int64, w int) [][2]int64 {
+	if hi <= lo {
+		return nil
+	}
+	if int64(w) > hi-lo {
+		w = int(hi - lo)
+	}
+	out := make([][2]int64, 0, w)
+	n := hi - lo
+	for i := 0; i < w; i++ {
+		s := lo + n*int64(i)/int64(w)
+		e := lo + n*int64(i+1)/int64(w)
+		if e > s {
+			out = append(out, [2]int64{s, e})
+		}
+	}
+	return out
+}
+
 // RecoverStructure walks every chain, completing any interrupted reorder
 // (commit flag protocol), rebuilding prev pointers, unlinking half-removed
 // entries, validating delete pointers, and rebuilding the IAA free list.
-// It must run before the table serves lookups.
+// It must run before the table serves lookups. The DAA chain walk and the
+// IAA sweep are partitioned by index range across RecoveryWorkers.
 func (t *Table) RecoverStructure() RecoverStats {
 	var rs RecoverStats
-	reachable := make(map[uint64]bool)
+	workers := t.recoveryWorkers()
 
-	for p := uint64(0); int64(p) < t.daa; p++ {
-		if t.recoverReorder(p) {
-			rs.ReordersResumed++
-		}
-		// Walk the chain, fixing prevs and unlinking ghosts. Cycle guard:
-		// a corrupted region (e.g. never initialized) must not hang
-		// recovery — the chain is truncated at the first repeated entry.
-		prev := p
-		cur := t.next(p)
-		visited := map[uint64]bool{}
-		for cur != None {
-			if int64(cur) >= t.total || visited[cur] {
-				t.setNext(prev, None)
-				break
+	// Phase 1: per-chain repair, sharded by DAA range. Chains from
+	// distinct heads are disjoint, so workers never touch the same entry.
+	type chainShard struct {
+		rs        RecoverStats
+		reachable map[uint64]bool
+	}
+	chainShards := make([]chainShard, 0, workers)
+	rngs := shardRanges(0, t.daa, workers)
+	var wg sync.WaitGroup
+	for range rngs {
+		chainShards = append(chainShards, chainShard{reachable: make(map[uint64]bool)})
+	}
+	for w, r := range rngs {
+		wg.Add(1)
+		go func(sh *chainShard, lo, hi int64) {
+			defer wg.Done()
+			for p := uint64(lo); int64(p) < hi; p++ {
+				t.recoverChain(p, sh.reachable, &sh.rs)
 			}
-			visited[cur] = true
-			nxt := t.next(cur)
-			if !t.occupied(cur) {
-				// Half-inserted or half-removed IAA entry: unlink.
-				t.setNext(prev, nxt)
-				if nxt != None {
-					t.setPrev(nxt, prev)
-				}
-				t.clearSlot(cur)
-				rs.GhostsUnlinked++
-				cur = nxt
-				continue
-			}
-			if t.prev(cur) != prev {
-				t.setPrev(cur, prev)
-				rs.PrevsFixed++
-			}
-			reachable[cur] = true
-			prev = cur
-			cur = nxt
+		}(&chainShards[w], r[0], r[1])
+	}
+	wg.Wait()
+	reachable := make(map[uint64]bool)
+	for i := range chainShards {
+		rs.add(chainShards[i].rs)
+		for idx := range chainShards[i].reachable {
+			reachable[idx] = true
 		}
 	}
 
-	// IAA slots: unreachable ones go to the free list; occupied orphans
-	// (crash between the counts persist and the chain link) are cleared.
+	// Phase 2: IAA slots, sharded by range. Unreachable ones go to the
+	// free list; occupied orphans (crash between the counts persist and
+	// the chain link) are cleared. Each repair touches only its own slot.
+	// Per-worker free lists concatenate in range order, reproducing the
+	// sequential ascending rebuild exactly.
+	type iaaShard struct {
+		cleared int
+		free    []uint64
+	}
+	iaaShards := make([]iaaShard, workers)
+	rngs = shardRanges(t.daa, t.total, workers)
+	for w, r := range rngs {
+		wg.Add(1)
+		go func(sh *iaaShard, lo, hi int64) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				idx := uint64(i)
+				if reachable[idx] {
+					continue
+				}
+				if t.occupied(idx) {
+					t.dev.PersistStore64(t.entryOff(idx)+feCounts, 0)
+					t.clearSlot(idx)
+					sh.cleared++
+				}
+				sh.free = append(sh.free, idx)
+			}
+		}(&iaaShards[w], r[0], r[1])
+	}
+	wg.Wait()
 	t.iamu.Lock()
 	t.iaaFree = t.iaaFree[:0]
-	t.iamu.Unlock()
-	for i := t.daa; i < t.total; i++ {
-		idx := uint64(i)
-		if reachable[idx] {
-			continue
-		}
-		if t.occupied(idx) {
-			t.dev.PersistStore64(t.entryOff(idx)+feCounts, 0)
-			t.clearSlot(idx)
-			rs.OrphansCleared++
-		}
-		t.freeIAA(idx)
+	for i := range iaaShards {
+		rs.OrphansCleared += iaaShards[i].cleared
+		t.iaaFree = append(t.iaaFree, iaaShards[i].free...)
 	}
+	t.iamu.Unlock()
 
 	rs.DelPtrsFixed = t.fixDeletePointers()
 	return rs
+}
+
+// recoverChain repairs the chain anchored at DAA slot p: it resumes an
+// interrupted reorder, rebuilds prev pointers, and unlinks ghost entries,
+// recording every live chain member in reachable.
+func (t *Table) recoverChain(p uint64, reachable map[uint64]bool, rs *RecoverStats) {
+	if t.recoverReorder(p) {
+		rs.ReordersResumed++
+	}
+	// Walk the chain, fixing prevs and unlinking ghosts. Cycle guard:
+	// a corrupted region (e.g. never initialized) must not hang
+	// recovery — the chain is truncated at the first repeated entry.
+	prev := p
+	cur := t.next(p)
+	visited := map[uint64]bool{}
+	for cur != None {
+		if int64(cur) >= t.total || visited[cur] {
+			t.setNext(prev, None)
+			break
+		}
+		visited[cur] = true
+		nxt := t.next(cur)
+		if !t.occupied(cur) {
+			// Half-inserted or half-removed IAA entry: unlink.
+			t.setNext(prev, nxt)
+			if nxt != None {
+				t.setPrev(nxt, prev)
+			}
+			t.clearSlot(cur)
+			rs.GhostsUnlinked++
+			cur = nxt
+			continue
+		}
+		if t.prev(cur) != prev {
+			t.setPrev(cur, prev)
+			rs.PrevsFixed++
+		}
+		reachable[cur] = true
+		prev = cur
+		cur = nxt
+	}
 }
 
 // clearSlot wipes an entry's identity (not its delete-pointer field, which
@@ -119,28 +226,63 @@ func (t *Table) clearSlot(idx uint64) {
 
 // fixDeletePointers makes the delete-pointer index exactly mirror the live
 // entries: every occupied entry's block maps to it; every other slot maps
-// to None.
+// to None. Both the entry scan and the slot sweep shard by range; the
+// per-worker want-maps merge in ascending range order, so if two entries
+// ever claim the same block (corrupt image) the higher index wins, exactly
+// as in the sequential scan.
 func (t *Table) fixDeletePointers() int {
-	fixed := 0
-	want := make(map[uint64]uint64) // relBlock -> entry idx
-	for i := int64(0); i < t.total; i++ {
-		idx := uint64(i)
-		if !t.occupied(idx) {
-			continue
-		}
-		want[t.relBlock(t.block(idx))] = idx
+	workers := t.recoveryWorkers()
+
+	wantShards := make([]map[uint64]uint64, workers)
+	rngs := shardRanges(0, t.total, workers)
+	var wg sync.WaitGroup
+	for w, r := range rngs {
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			want := make(map[uint64]uint64)
+			for i := lo; i < hi; i++ {
+				idx := uint64(i)
+				if !t.occupied(idx) {
+					continue
+				}
+				want[t.relBlock(t.block(idx))] = idx
+			}
+			wantShards[w] = want
+		}(w, r[0], r[1])
 	}
-	for r := int64(0); r < t.numData; r++ {
-		slotOff := t.entryOff(uint64(r)) + feDelPtr
-		cur := t.dev.Load64(slotOff)
-		w, ok := want[uint64(r)]
-		if !ok {
-			w = None
+	wg.Wait()
+	want := make(map[uint64]uint64) // relBlock -> entry idx
+	for _, sh := range wantShards {
+		for k, v := range sh {
+			want[k] = v
 		}
-		if cur != w {
-			t.dev.PersistStore64(slotOff, w)
-			fixed++
-		}
+	}
+
+	fixedBy := make([]int, workers)
+	rngs = shardRanges(0, t.numData, workers)
+	for w, r := range rngs {
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			for r := lo; r < hi; r++ {
+				slotOff := t.entryOff(uint64(r)) + feDelPtr
+				cur := t.dev.Load64(slotOff)
+				wv, ok := want[uint64(r)]
+				if !ok {
+					wv = None
+				}
+				if cur != wv {
+					t.dev.PersistStore64(slotOff, wv)
+					fixedBy[w]++
+				}
+			}
+		}(w, r[0], r[1])
+	}
+	wg.Wait()
+	fixed := 0
+	for _, n := range fixedBy {
+		fixed += n
 	}
 	return fixed
 }
@@ -148,22 +290,48 @@ func (t *Table) fixDeletePointers() int {
 // ZeroAllUC discards the update counts of transactions that never resumed
 // (Inconsistency Handling II: "the UC is not applied to the RFC for these
 // entries, but discarded. These UCs are set to 0 at system reboot").
-// Entries left with RFC==0 are removed entirely.
+// Entries left with RFC==0 are removed entirely. The sweep shards by
+// index range: per-entry count rewrites run in the workers (they touch
+// only their own slot), while removals — which rewrite neighbours' chain
+// pointers — are collected and applied afterwards in ascending index
+// order, producing the same image as the sequential sweep.
 func (t *Table) ZeroAllUC() RecoverStats {
 	var rs RecoverStats
-	for i := int64(0); i < t.total; i++ {
-		idx := uint64(i)
-		rfc, uc := t.counts(idx)
-		if uc == 0 {
-			continue
-		}
-		rs.UCsDiscarded++
-		if rfc == 0 {
+	workers := t.recoveryWorkers()
+
+	type ucShard struct {
+		discarded int
+		drops     []uint64
+	}
+	shards := make([]ucShard, workers)
+	rngs := shardRanges(0, t.total, workers)
+	var wg sync.WaitGroup
+	for w, r := range rngs {
+		wg.Add(1)
+		go func(sh *ucShard, lo, hi int64) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				idx := uint64(i)
+				rfc, uc := t.counts(idx)
+				if uc == 0 {
+					continue
+				}
+				sh.discarded++
+				if rfc == 0 {
+					sh.drops = append(sh.drops, idx)
+					continue
+				}
+				t.dev.PersistStore64(t.entryOff(idx)+feCounts, uint64(rfc))
+			}
+		}(&shards[w], r[0], r[1])
+	}
+	wg.Wait()
+	for i := range shards {
+		rs.UCsDiscarded += shards[i].discarded
+		for _, idx := range shards[i].drops {
 			t.dropEntry(idx)
 			rs.EntriesDropped++
-			continue
 		}
-		t.dev.PersistStore64(t.entryOff(idx)+feCounts, uint64(rfc))
 	}
 	return rs
 }
@@ -173,27 +341,56 @@ func (t *Table) ZeroAllUC() RecoverStats {
 // has been reclaimed by the free list in recovery, it decreases the RFC of
 // the corresponding FACT entry, i.e., invalidates it."). It returns the
 // blocks whose entries were dropped so the caller can reconcile free-space
-// accounting.
+// accounting. The candidate scan shards by index range (read-only); the
+// drops apply afterwards in ascending index order.
 func (t *Table) Scrub(inUse func(block uint64) bool) (RecoverStats, []uint64) {
 	var rs RecoverStats
+	workers := t.recoveryWorkers()
+
+	type cand struct {
+		idx, block uint64
+	}
+	candShards := make([][]cand, workers)
+	rngs := shardRanges(0, t.total, workers)
+	var wg sync.WaitGroup
+	for w, r := range rngs {
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				idx := uint64(i)
+				if !t.occupied(idx) {
+					continue
+				}
+				if _, uc := t.counts(idx); uc > 0 {
+					// An open transaction is about to reference this block;
+					// the next scrub pass will catch it if the transaction
+					// dies.
+					continue
+				}
+				b := t.block(idx)
+				if inUse(b) {
+					continue
+				}
+				candShards[w] = append(candShards[w], cand{idx, b})
+			}
+		}(w, r[0], r[1])
+	}
+	wg.Wait()
+
 	var dropped []uint64
-	for i := int64(0); i < t.total; i++ {
-		idx := uint64(i)
-		if !t.occupied(idx) {
-			continue
+	for _, sh := range candShards {
+		for _, c := range sh {
+			// Re-validate under the chain lock via dropEntry (it rechecks
+			// occupancy); the block check guards against the slot having
+			// been rewritten between the scan and the drop.
+			if t.block(c.idx) != c.block {
+				continue
+			}
+			t.dropEntry(c.idx)
+			rs.EntriesDropped++
+			dropped = append(dropped, c.block)
 		}
-		if _, uc := t.counts(idx); uc > 0 {
-			// An open transaction is about to reference this block; the
-			// next scrub pass will catch it if the transaction dies.
-			continue
-		}
-		b := t.block(idx)
-		if inUse(b) {
-			continue
-		}
-		t.dropEntry(idx)
-		rs.EntriesDropped++
-		dropped = append(dropped, b)
 	}
 	return rs, dropped
 }

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"denova"
+	"denova/internal/pmem"
+	"denova/internal/workload"
+)
+
+// RecoverySpec parameterizes BuildRecoveryImage and MeasureRecovery.
+type RecoverySpec struct {
+	Files        int     // files written before the crash
+	PagesPerFile int     // pages per file, one write entry each
+	DupRatio     float64 // fraction of duplicate pages in the workload
+	// DirtyFrac is the fraction of files written after the last dedup
+	// drain: their entries crash with dedupe_needed flags, so recovery has
+	// to requeue them. The rest are fully deduplicated before the crash
+	// and exercise the FACT structure/scrub path instead.
+	DirtyFrac float64
+	Seed      int64
+	Profile   pmem.LatencyProfile // profile mounts are measured under
+}
+
+// RecoveryResult is one point of the mount-time recovery scaling curve.
+type RecoveryResult struct {
+	Workers int
+	Elapsed time.Duration // wall clock of the denova.Mount call
+	Info    *denova.RecoveryInfo
+	// Dev is the mounted clone after recovery ran: the smoke test compares
+	// these byte-for-byte across worker counts.
+	Dev *pmem.Device
+}
+
+// BuildRecoveryImage formats a device, writes the workload (per-page write
+// entries), drains deduplication for the first 1-DirtyFrac of the files,
+// leaves the rest queued, and pulls the plug without any clean-shutdown
+// work. Mounting the returned image therefore exercises every recovery
+// pass: the sharded inode/log scans, FACT structural repair, UC discard,
+// the usage scrub, and the DWQ requeue of the undeduplicated tail. The
+// fill phase runs with latency injection off; the returned device carries
+// spec.Profile so subsequent mounts pay realistic media costs.
+func BuildRecoveryImage(spec RecoverySpec) (*pmem.Device, error) {
+	if spec.Files <= 0 || spec.PagesPerFile <= 0 {
+		return nil, fmt.Errorf("harness: recovery spec needs Files and PagesPerFile > 0")
+	}
+	gen := workload.NewGenerator(workload.Spec{
+		Name:     "recovery",
+		FileSize: spec.PagesPerFile * pmem.PageSize,
+		NumFiles: spec.Files,
+		DupRatio: spec.DupRatio,
+		Seed:     spec.Seed,
+		PoolSize: 64,
+	})
+	dataBytes := int64(spec.Files) * int64(spec.PagesPerFile) * pmem.PageSize
+	dev := pmem.New(dataBytes*4+(32<<20), pmem.ProfileZero)
+	fs, err := denova.Mkfs(dev, denova.Config{
+		Mode:      denova.ModeImmediate,
+		NoDaemon:  true, // dedup runs only on Sync, so the crash point is ours
+		MaxInodes: int64(spec.Files) + 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+	drained := spec.Files - int(float64(spec.Files)*spec.DirtyFrac)
+	page := make([]byte, pmem.PageSize)
+	for i := 0; i < spec.Files; i++ {
+		if i == drained {
+			fs.Sync() // everything before this point reaches dedupe_complete
+		}
+		f, err := fs.Create(gen.FileName(i))
+		if err != nil {
+			return nil, err
+		}
+		data := gen.FileData(i)
+		for pg := 0; pg < spec.PagesPerFile; pg++ {
+			copy(page, data[pg*pmem.PageSize:(pg+1)*pmem.PageSize])
+			if _, err := f.WriteAt(page, int64(pg)*pmem.PageSize); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fs.UnmountDirty() // plug pulled: clean flag stays false, DWQ unsaved
+	dev.SetProfile(spec.Profile)
+	return dev, nil
+}
+
+// MeasureRecovery builds one crash image and mounts an independent clone of
+// it once per requested worker count, timing each denova.Mount call. The
+// clones are bit-identical, so any difference between the returned
+// RecoveryInfo values (beyond pass timings) is a determinism bug — the
+// recovery smoke test gates on exactly that.
+func MeasureRecovery(workerCounts []int, spec RecoverySpec) ([]RecoveryResult, error) {
+	img, err := BuildRecoveryImage(spec)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]RecoveryResult, 0, len(workerCounts))
+	for _, workers := range workerCounts {
+		dev := img.Clone()
+		start := time.Now()
+		fs, info, err := denova.Mount(dev, denova.Config{
+			Mode:     denova.ModeImmediate,
+			NoDaemon: true,
+			Workers:  workers,
+		})
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("harness: mount with %d workers: %w", workers, err)
+		}
+		fs.UnmountDirty()
+		results = append(results, RecoveryResult{Workers: workers, Elapsed: elapsed, Info: info, Dev: dev})
+	}
+	return results, nil
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"denova"
+	"denova/internal/pmem"
+)
+
+// normalizedInfo strips the fields legitimately allowed to differ between
+// worker counts — the resolved pool size and the pass timings — leaving
+// everything recovery found, repaired, or requeued.
+func normalizedInfo(info *denova.RecoveryInfo) denova.RecoveryInfo {
+	n := *info
+	n.Workers = 0
+	n.Passes = nil
+	n.Dedup.Passes = nil
+	return n
+}
+
+// deviceBytes snapshots the device contents (latency off: this is test
+// instrumentation, not modelled I/O).
+func deviceBytes(d *pmem.Device) []byte {
+	d.SetProfile(pmem.ProfileZero)
+	buf := make([]byte, d.Size())
+	d.Read(0, buf)
+	return buf
+}
+
+// TestRecoverySmoke is the CI determinism gate on the parallel recovery
+// pipeline: mounting bit-identical clones of one crash image with 1 and 8
+// workers must produce the same recovery report and the same post-mount
+// persistent image. Pass timings are the only sanctioned difference.
+func TestRecoverySmoke(t *testing.T) {
+	spec := RecoverySpec{
+		Files:        96,
+		PagesPerFile: 8,
+		DupRatio:     0.5,
+		DirtyFrac:    0.4,
+		Seed:         7,
+		Profile:      pmem.ProfileZero, // determinism gate; timing is gated below
+	}
+	res, err := MeasureRecovery([]int{1, 8}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := res[0], res[1]
+	if got := seq.Info.Workers; got != 1 {
+		t.Errorf("sequential mount resolved %d workers, want 1", got)
+	}
+	if want, got := normalizedInfo(seq.Info), normalizedInfo(par.Info); !reflect.DeepEqual(want, got) {
+		t.Errorf("recovery reports diverge between 1 and 8 workers:\n 1: %+v\n 8: %+v", want, got)
+	}
+	if seq.Info.Dedup.Requeued == 0 {
+		t.Error("crash image requeued no dedupe_needed entries; the image is not exercising recovery")
+	}
+	if !bytes.Equal(deviceBytes(seq.Dev), deviceBytes(par.Dev)) {
+		t.Error("post-mount device images differ between 1 and 8 workers")
+	}
+}
+
+// TestRecoveryScalingSmoke gates the tentpole's performance claim: on a
+// multi-core host, a 4-worker mount of a crashed image must be measurably
+// faster than the sequential one (medians of three runs). On any host it
+// must at least not regress.
+func TestRecoveryScalingSmoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("recovery scaling is timing-sensitive; skipped under -race")
+	}
+	if testing.Short() {
+		t.Skip("recovery scaling skipped in -short mode")
+	}
+	spec := RecoverySpec{
+		Files:        512,
+		PagesPerFile: 8,
+		DupRatio:     0.5,
+		DirtyFrac:    0.5,
+		Seed:         11,
+		Profile:      pmem.ProfileOptaneInterleaved,
+	}
+	const runs = 3
+	elapsed := map[int][]float64{}
+	for i := 0; i < runs; i++ {
+		res, err := MeasureRecovery([]int{1, 4}, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			elapsed[r.Workers] = append(elapsed[r.Workers], r.Elapsed.Seconds())
+		}
+	}
+	t1, t4 := median(elapsed[1]), median(elapsed[4])
+	speedup := t1 / t4
+	t.Logf("mount recovery: 1 worker %.1fms, 4 workers %.1fms (%.2fx, GOMAXPROCS=%d)",
+		t1*1e3, t4*1e3, speedup, runtime.GOMAXPROCS(0))
+	if t4 > 1.1*t1 {
+		t.Errorf("4-worker mount regresses the sequential mount by >10%%: %.1fms vs %.1fms", t4*1e3, t1*1e3)
+	}
+	if runtime.GOMAXPROCS(0) >= 4 && speedup < 1.3 {
+		t.Errorf("expected >=1.3x mount speedup with 4 workers on a %d-CPU host, got %.2fx",
+			runtime.GOMAXPROCS(0), speedup)
+	}
+}

@@ -3,25 +3,13 @@ package harness
 import (
 	"runtime"
 	"testing"
-	"time"
 
 	"denova/internal/pmem"
 )
 
-// profileOptaneInterleaved is the scaling bench's device: Optane media
-// timings without the bandwidth-sharing governor, modelling a namespace
-// interleaved across several DIMMs where each worker effectively drives its
-// own device queue. This isolates the software pipeline's scalability —
-// with sharing enabled the device itself serializes the pool and the bench
-// would measure media saturation, not the worker pool.
-var profileOptaneInterleaved = pmem.LatencyProfile{
-	Name:               "optane-interleaved",
-	ReadAccessOverhead: 250 * time.Nanosecond,
-	ReadPerLine:        40 * time.Nanosecond,
-	WritePerLine:       35 * time.Nanosecond,
-	FlushOverhead:      20 * time.Nanosecond,
-	FenceOverhead:      15 * time.Nanosecond,
-}
+// profileOptaneInterleaved isolates the software pipeline's scalability
+// from device-bandwidth saturation; see pmem.ProfileOptaneInterleaved.
+var profileOptaneInterleaved = pmem.ProfileOptaneInterleaved
 
 // TestWorkerScalingSmoke is the CI gate on the parallel dedup pipeline:
 // a 4-worker pool must never drain slower than 90% of a single worker

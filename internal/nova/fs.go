@@ -39,6 +39,9 @@ type FS struct {
 	releaser BlockReleaser
 	onWrite  WriteHook
 
+	// mountWorkers is the Mount-time scan pool size (see WithMountWorkers).
+	mountWorkers int
+
 	seq   uint64 // global entry sequence
 	clock uint64 // logical mtime counter
 

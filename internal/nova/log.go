@@ -117,6 +117,14 @@ func (fs *FS) walkLog(head, tail uint64, fn func(off uint64, rec layout.Record) 
 				return nil
 			}
 		}
+		if pageOfOff(tail) == page {
+			// The committed tail sits at this page's boundary slot: the page
+			// filled up but no entry in a later page was ever committed. A
+			// crash can leave a successor page linked whose slots still hold
+			// garbage from the block's previous life — never read past the
+			// tail's page.
+			return nil
+		}
 		next, err := fs.logPageNext(page)
 		if err != nil {
 			return err

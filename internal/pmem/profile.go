@@ -68,6 +68,21 @@ var (
 		BandwidthSharing:   true,
 	}
 
+	// ProfileOptaneInterleaved has Optane media timings without the
+	// bandwidth-sharing governor, modelling a namespace interleaved across
+	// several DIMMs where each goroutine effectively drives its own device
+	// queue. Scaling benches use it to isolate the software pipeline's
+	// parallelism — with sharing enabled the device itself serializes the
+	// pool and a bench would measure media saturation, not the worker pool.
+	ProfileOptaneInterleaved = LatencyProfile{
+		Name:               "optane-interleaved",
+		ReadAccessOverhead: 250 * time.Nanosecond,
+		ReadPerLine:        40 * time.Nanosecond,
+		WritePerLine:       35 * time.Nanosecond,
+		FlushOverhead:      20 * time.Nanosecond,
+		FenceOverhead:      15 * time.Nanosecond,
+	}
+
 	// ProfileDRAM approximates DRAM (the paper's emulation substrate).
 	ProfileDRAM = LatencyProfile{
 		Name:               "dram",
