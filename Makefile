@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint test race torture bench bench-recovery clean
+.PHONY: all build lint test race torture bench bench-recovery bench-json clean
 
 all: build lint test
 
@@ -34,6 +34,12 @@ bench:
 # on a multi-thousand-file dirty image.
 bench-recovery:
 	$(GO) test -bench BenchmarkRecovery -benchtime 1x -run '^$$' .
+
+# bench-json = machine-readable benchmark reports: one BENCH_<model>_<workload>.json
+# per standard model/workload pair with ops/s, op-latency percentiles
+# (p50/p95/p99/max from the obs histograms), pmem counters and dedup savings.
+bench-json:
+	$(GO) run ./cmd/denova-bench json
 
 clean:
 	$(GO) clean ./...

@@ -6,8 +6,9 @@
 //	denova-bench [flags] <artifact>
 //
 // Artifacts: table1, fig2, table4, fig8, fig9, fig10, fig11, fig12, model,
-// ablations, space, overhead, wear, all. With -csvdir the figures also
-// emit their data series as CSV files for plotting.
+// ablations, space, overhead, wear, json, all. With -csvdir the figures also
+// emit their data series as CSV files for plotting; "json" writes
+// machine-readable BENCH_*.json reports (see -jsondir).
 //
 // The -scale flag shrinks or grows the workload sizes (1.0 means the
 // default sizes below; the paper's full 1,000,000-file runs correspond to
@@ -32,6 +33,7 @@ var (
 	profile   = flag.String("profile", "optane-dcpm", "device profile: optane-dcpm, dram, pcm, stt-ram, zero")
 	thinkTime = flag.Bool("think", true, "interleave think time equal to I/O time (paper §V-B1)")
 	reps      = flag.Int("reps", 3, "interleaved measurement rounds per figure cell (median reported)")
+	jsondir   = flag.String("jsondir", ".", "output directory for the json artifact's BENCH_*.json files")
 )
 
 // cell is one figure data point; sweeps measure all cells per round so that
@@ -96,7 +98,7 @@ func n(base int) int {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: denova-bench [flags] <table1|fig2|table4|fig8|fig9|fig10|fig11|fig12|model|ablations|space|overhead|wear|all>")
+		fmt.Fprintln(os.Stderr, "usage: denova-bench [flags] <table1|fig2|table4|fig8|fig9|fig10|fig11|fig12|model|ablations|space|overhead|wear|json|all>")
 		os.Exit(2)
 	}
 	arts := map[string]func() error{
@@ -113,6 +115,7 @@ func main() {
 		"space":     space,
 		"overhead":  overhead,
 		"wear":      wear,
+		"json":      benchJSON,
 	}
 	run := func(name string) {
 		fn, ok := arts[name]
@@ -139,6 +142,17 @@ func main() {
 func table1() error {
 	fmt.Print(harness.FormatTable1(harness.MeasureDeviceProfiles(2000)))
 	return nil
+}
+
+// benchJSON emits the machine-readable BENCH_<model>_<workload>.json
+// reports (ops/s, latency percentiles, pmem counters, dedup savings) that
+// CI archives as artifacts.
+func benchJSON() error {
+	paths, err := harness.WriteStandardBenchJSON(*jsondir)
+	for _, p := range paths {
+		fmt.Println("wrote", p)
+	}
+	return err
 }
 
 func fig2() error {

@@ -21,12 +21,23 @@
 //	                               (incl. the mount's per-pass recovery timeline)
 //	fsck                           deep-verify file system + FACT invariants
 //	scrub                          run one FACT scrubber pass
+//	top [-dur 5s] [-refresh 500ms] [-addr :0]
+//	                               live dashboard (queue depth, worker
+//	                               utilization, op-latency percentiles) over a
+//	                               generated workload; the image is not modified
+//	trace [-n 32] [-crash-after K] [-out file]
+//	                               run a traced workload and dump the most
+//	                               recent events; with -crash-after, inject a
+//	                               crash and preserve the frozen ring in an
+//	                               image sidecar (<img>.trace.json)
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -34,6 +45,8 @@ import (
 	"time"
 
 	"denova"
+	"denova/internal/obs"
+	"denova/internal/pmem"
 )
 
 var (
@@ -57,19 +70,32 @@ func parseMode(s string) (denova.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
+// parseSize parses a device size like "4096", "64K", "256M" or "1G"
+// (suffixes also accepted lowercase). Malformed, empty, zero, negative and
+// overflowing sizes are rejected with a descriptive error.
 func parseSize(s string) (int64, error) {
+	orig := s
 	mult := int64(1)
 	switch {
-	case strings.HasSuffix(s, "G"):
-		mult, s = 1<<30, strings.TrimSuffix(s, "G")
-	case strings.HasSuffix(s, "M"):
-		mult, s = 1<<20, strings.TrimSuffix(s, "M")
-	case strings.HasSuffix(s, "K"):
-		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	}
+	if s == "" {
+		return 0, fmt.Errorf("invalid size %q: missing numeric value", orig)
 	}
 	v, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("invalid size %q: want <number>[K|M|G]", orig)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("invalid size %q: must be positive", orig)
+	}
+	if v > math.MaxInt64/mult {
+		return 0, fmt.Errorf("invalid size %q: overflows int64 bytes", orig)
 	}
 	return v * mult, nil
 }
@@ -111,20 +137,241 @@ func saveImage(fs *denova.FS, dev *denova.Device) {
 	}
 }
 
-func mount() (*denova.FS, *denova.Device) {
+func mount() (*denova.FS, *denova.Device) { return mountCfg(cfg()) }
+
+func mountCfg(c denova.Config) (*denova.FS, *denova.Device) {
 	dev := loadImage()
-	fs, _, err := denova.Mount(dev, cfg())
+	fs, _, err := denova.Mount(dev, c)
 	if err != nil {
 		fatal(err)
 	}
 	return fs, dev
 }
 
+// pageSize is the write granularity of the generated workloads (one NOVA
+// data page).
+const pageSize = 4096
+
+// fillPage deterministically fills one page for workload step i: three of
+// every four pages repeat a byte pattern from a small set (so the dedup
+// pipeline has duplicates to find), the fourth is pseudo-random.
+func fillPage(p []byte, i uint64) {
+	if i%4 != 0 {
+		for j := range p {
+			p[j] = byte(i % 7)
+		}
+		return
+	}
+	seed := i*0x9e3779b97f4a7c15 + 1
+	for j := 0; j+8 <= len(p); j += 8 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		binary.LittleEndian.PutUint64(p[j:], seed)
+	}
+}
+
+// driveWorkload writes a duplicate-heavy page stream into a scratch file
+// until stopped. It wraps within a bounded window so small images never run
+// out of space; write errors end the workload quietly (the dashboard keeps
+// refreshing on whatever was recorded).
+func driveWorkload(fs *denova.FS, stop <-chan struct{}) {
+	f, err := fs.Create("denovactl.top")
+	if err == denova.ErrExist {
+		f, err = fs.Open("denovactl.top")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	const window = 512 // pages (2 MiB logical footprint)
+	page := make([]byte, pageSize)
+	rbuf := make([]byte, pageSize)
+	for i := uint64(0); ; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		fillPage(page, i)
+		if _, err := f.WriteAt(page, int64(i%window)*pageSize); err != nil {
+			return
+		}
+		if i%64 == 63 {
+			f.ReadAt(rbuf, int64(i%window)*pageSize)
+		}
+		if i%256 == 255 {
+			fs.Sync()
+		}
+	}
+}
+
+// topOps is the op set shown in the dashboard's latency table, in display
+// order.
+var topOps = []string{
+	"nova.write", "nova.read", "nova.truncate", "nova.gc.thorough",
+	"dedup.process", "dedup.batch", "dedup.queue_wait", "dedup.scrub",
+	"fact.begin_txn", "fact.commit_batch", "fact.decref",
+}
+
+func printTop(fs *denova.FS, elapsed, dur, refresh time.Duration, prevBusy *[]int64) {
+	snap := fs.Metrics()
+	st := fs.Stats()
+	fmt.Print("\033[H\033[2J") // home + clear
+	fmt.Printf("denovactl top — mode %s, elapsed %s / %s\n\n",
+		fs.Mode(), elapsed.Round(100*time.Millisecond), dur)
+	fmt.Printf("queue   len=%-6d peak=%-6d enq=%-8d deq=%-8d shards=%v\n",
+		st.Queue.Len, st.Queue.Peak, st.Queue.Enqueued, st.Queue.Dequeued, st.Queue.Shards)
+	if len(st.Workers) > 0 {
+		fmt.Print("workers ")
+		for i, w := range st.Workers {
+			var prev int64
+			if i < len(*prevBusy) {
+				prev = (*prevBusy)[i]
+			}
+			util := float64(w.BusyNs-prev) / float64(refresh.Nanoseconds()) * 100
+			if util < 0 {
+				util = 0
+			}
+			if util > 100 {
+				util = 100
+			}
+			fmt.Printf("w%d=%5.1f%% ", i, util)
+		}
+		fmt.Println()
+		busy := make([]int64, len(st.Workers))
+		for i, w := range st.Workers {
+			busy[i] = w.BusyNs
+		}
+		*prevBusy = busy
+	}
+	fmt.Printf("space   savings=%.1f%% logical=%d physical=%d free=%d\n",
+		st.Space.Savings()*100, st.Space.LogicalPages, st.Space.PhysicalPages, st.Space.FreeBlocks)
+	fmt.Printf("pmem    flush=%d nt=%d fences=%d\n\n",
+		st.Device.FlushedLines, st.Device.NTLines, st.Device.Fences)
+	fmt.Printf("%-20s %10s %12s %12s %12s %12s\n", "op", "count", "p50", "p95", "p99", "max")
+	for _, name := range topOps {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-20s %10d %12s %12s %12s %12s\n", name, h.Count,
+			time.Duration(h.P50Ns), time.Duration(h.P95Ns),
+			time.Duration(h.P99Ns), time.Duration(h.MaxNs))
+	}
+}
+
+// runTop mounts the image, drives a synthetic duplicate-heavy workload and
+// refreshes a live dashboard until the duration elapses. The image file is
+// never written back: top is an observer, not a mutator.
+func runTop(dur, refresh time.Duration, addr string) {
+	c := cfg()
+	c.Tracing = denova.TraceOps
+	fs, _ := mountCfg(c)
+	if addr != "" {
+		srv, err := fs.ServeMetrics(addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "denovactl: serving http://%s/metrics (.json, /trace)\n", srv.Addr)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		driveWorkload(fs, stop)
+	}()
+	start := time.Now()
+	tick := time.NewTicker(refresh)
+	defer tick.Stop()
+	end := time.NewTimer(dur)
+	defer end.Stop()
+	var prevBusy []int64
+	for running := true; running; {
+		select {
+		case <-tick.C:
+			printTop(fs, time.Since(start), dur, refresh, &prevBusy)
+		case <-end.C:
+			running = false
+		}
+	}
+	close(stop)
+	<-done
+	if err := fs.Unmount(); err != nil {
+		fatal(err)
+	}
+	printTop(fs, time.Since(start), dur, refresh, &prevBusy)
+	fmt.Println("\n(image not modified)")
+}
+
+// runTrace mounts with fine-grained tracing, runs a short traced workload
+// and prints the most recent n ring events. With crashAfter > 0 a crash is
+// injected after that many persist operations; the crash hook freezes the
+// ring, which is then preserved in a JSON sidecar next to the image for
+// post-mortem analysis. The image file is never written back.
+func runTrace(n int, crashAfter int64, out string) {
+	c := cfg()
+	c.Tracing = denova.TraceFine
+	fs, dev := mountCfg(c)
+	work := func() {
+		f, err := fs.Create("denovactl.trace")
+		if err == denova.ErrExist {
+			f, err = fs.Open("denovactl.trace")
+		}
+		if err != nil {
+			fatal(err)
+		}
+		page := make([]byte, pageSize)
+		for i := uint64(0); i < 64; i++ {
+			fillPage(page, i)
+			if _, err := f.WriteAt(page, int64(i)*pageSize); err != nil {
+				fatal(err)
+			}
+		}
+		fs.Sync()
+		f.ReadAt(page, 0)
+	}
+	tr := fs.Tracer()
+	if crashAfter > 0 {
+		dev.SetCrashAfter(crashAfter)
+		if !pmem.RunToCrash(work) {
+			fmt.Fprintln(os.Stderr, "denovactl: workload finished before the crash point; dumping the full run")
+		}
+		if out == "" {
+			out = *img + ".trace.json"
+		}
+		sidecar, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.EncodeTrace(sidecar, tr); err != nil {
+			fatal(err)
+		}
+		if err := sidecar.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("crash injected (after %d persists): ring frozen=%v, sidecar %s\n",
+			crashAfter, tr.Frozen(), out)
+	} else {
+		work()
+		// Unmount first so the daemon drains and its batch events land in
+		// the ring too. The in-memory device is simply discarded afterwards.
+		if err := fs.Unmount(); err != nil {
+			fatal(err)
+		}
+	}
+	evs := fs.TraceEvents(n)
+	fmt.Printf("%d events (emitted %d, dropped %d):\n", len(evs), tr.Emitted(), tr.Dropped())
+	for _, ev := range evs {
+		fmt.Println(obs.FormatEvent(ev))
+	}
+}
+
 func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: denovactl [flags] <mkfs|write|cat|ls|mkdir|rmdir|rm|stats|fsck|scrub> [args]")
+		fmt.Fprintln(os.Stderr, "usage: denovactl [flags] <mkfs|write|cat|ls|mkdir|rmdir|rm|stats|fsck|scrub|top|trace> [args]")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -292,6 +539,22 @@ func main() {
 		n := fs.ScrubNow()
 		saveImage(fs, dev)
 		fmt.Printf("scrubber reclaimed %d leaked pages\n", n)
+
+	case "top":
+		fset := flag.NewFlagSet("top", flag.ExitOnError)
+		dur := fset.Duration("dur", 5*time.Second, "how long to run the generated workload")
+		refresh := fset.Duration("refresh", 500*time.Millisecond, "dashboard refresh interval")
+		addr := fset.String("addr", "", "also serve /metrics, /metrics.json and /trace on this address")
+		fset.Parse(args[1:])
+		runTop(*dur, *refresh, *addr)
+
+	case "trace":
+		fset := flag.NewFlagSet("trace", flag.ExitOnError)
+		n := fset.Int("n", 32, "most-recent events to print (0 = all buffered)")
+		crashAfter := fset.Int64("crash-after", 0, "inject a crash after this many persist operations (0 = none)")
+		out := fset.String("out", "", "sidecar file for the frozen ring (default <img>.trace.json; crash runs only)")
+		fset.Parse(args[1:])
+		runTrace(*n, *crashAfter, *out)
 
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))

@@ -29,6 +29,7 @@ import (
 	"denova/internal/dedup"
 	"denova/internal/fact"
 	"denova/internal/nova"
+	"denova/internal/obs"
 	"denova/internal/pmem"
 )
 
@@ -108,6 +109,14 @@ type Config struct {
 	// goroutine. Crash-injection harnesses need this so an injected panic
 	// unwinds through the caller's recover.
 	NoDaemon bool
+	// Tracing selects the event-tracer level (TraceOff, TraceOps,
+	// TraceFine). Latency histograms are always on; TraceFine additionally
+	// records per-step write-path and dedup-stage breakdowns. Default
+	// TraceOff.
+	Tracing TraceLevel
+	// TraceEvents is the total trace ring capacity in events (default 8192).
+	// Oldest events are overwritten when the ring wraps.
+	TraceEvents int
 }
 
 func (c *Config) fill() {
@@ -133,6 +142,9 @@ type FS struct {
 	engine *dedup.Engine
 	daemon *dedup.Daemon
 
+	reg    *obs.Registry // metrics registry (always present)
+	tracer *obs.Tracer   // event tracer (level per Config.Tracing)
+
 	recovery *RecoveryInfo // report of the mount that produced this FS
 }
 
@@ -157,6 +169,9 @@ func Mkfs(dev *Device, cfg Config) (*FS, error) {
 		f.table = table
 		f.table.ReorderEnabled = !cfg.DisableReorder
 		f.engine = dedup.NewEngine(nfs, f.table)
+	}
+	f.initObs()
+	if cfg.Mode != ModeNone {
 		f.wireMode()
 	}
 	return f, nil
@@ -238,14 +253,18 @@ func Mount(dev *Device, cfg Config) (*FS, *RecoveryInfo, error) {
 		if table.LiveEntries() > 0 {
 			return nil, nil, fmt.Errorf("denova: device holds deduplicated data; mount with a dedup mode, not ModeNone")
 		}
+		f.initObs()
+		f.feedRecovery(info)
 		f.recovery = info
 		return f, info, nil
 	}
 	f.table = table
 	f.table.ReorderEnabled = !cfg.DisableReorder
 	f.engine = dedup.NewEngine(nfs, f.table)
+	f.initObs()
 	info.Dedup = dedup.Recover(f.engine, scan)
 	info.Passes = append(info.Passes, info.Dedup.Passes...)
+	f.feedRecovery(info)
 	f.recovery = info
 	f.wireMode()
 	return f, info, nil
@@ -370,10 +389,11 @@ func (f *FS) Geometry() (deviceBytes, factBytes, dataBytes int64) {
 }
 
 // SetLingerHook observes each DWQ node's queue residence time (Fig. 10).
-// Must be set before writes begin.
+// Must be set before writes begin. The hook composes with the metrics
+// queue-wait histogram; both observe every dequeue.
 func (f *FS) SetLingerHook(h func(time.Duration)) {
 	if f.engine != nil {
-		f.engine.DWQ().LingerHook = h
+		f.engine.SetLingerHook(h)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"denova/internal/nova"
+	"denova/internal/obs"
 	"denova/internal/pmem"
 )
 
@@ -308,9 +309,16 @@ func (d *Daemon) service(id int, nodes []Node) {
 	defer d.endBusy()
 	start := time.Now()
 	defer func() {
+		busy := time.Since(start)
 		atomic.AddInt64(&d.stats[id].Batches, 1)
 		atomic.AddInt64(&d.stats[id].Nodes, int64(len(nodes)))
-		atomic.AddInt64(&d.stats[id].BusyNs, int64(time.Since(start)))
+		atomic.AddInt64(&d.stats[id].BusyNs, int64(busy))
+		if o := d.engine.obs; o != nil {
+			o.Batch.Observe(busy)
+			// Keyed by worker id so each worker's event stream lands on its
+			// own tracer shard (contiguous per-worker timelines).
+			o.Tracer.EmitShard(id, obs.OpDedupBatch, uint64(id), uint64(len(nodes)), busy)
+		}
 	}()
 	e := d.engine
 	e.quiesce.RLock()
@@ -397,6 +405,14 @@ const drainChunk = 256
 // Drain, inline writes) at a batch boundary: a block unreferenced at
 // snapshot time then stays unreferenced until the scrub is done.
 func (e *Engine) ScrubNow() (dropped int) {
+	if o := e.obs; o != nil {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start)
+			o.Scrub.Observe(d)
+			o.Tracer.Emit(obs.OpScrub, 0, uint64(dropped), d)
+		}()
+	}
 	e.quiesce.Lock()
 	defer e.quiesce.Unlock()
 	inUse := make(map[uint64]bool)

@@ -3,9 +3,11 @@ package dedup
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"denova/internal/fact"
 	"denova/internal/nova"
+	"denova/internal/obs"
 )
 
 // Engine executes deduplication transactions against a mounted NOVA file
@@ -29,6 +31,9 @@ type Engine struct {
 	// the scrubber, whose unreferenced-stays-unreferenced argument needs
 	// all consumers parked at a batch boundary.
 	quiesce sync.RWMutex
+
+	obs        *Observer             // metrics/tracing; nil = uninstrumented
+	userLinger func(d time.Duration) // user-facing DWQ linger hook (see SetLingerHook)
 
 	stats Stats
 }
@@ -67,6 +72,12 @@ func NewEngine(fs *nova.FS, table *fact.Table) *Engine {
 	e := &Engine{fs: fs, table: table, dwq: NewDWQ()}
 	fs.SetReleaser(e)
 	fs.SetWriteHook(func(in *nova.Inode, entryOff uint64) {
+		if o := e.obs; o != nil {
+			o.Enqueues.Inc()
+			if o.Fine {
+				o.Tracer.Emit(obs.OpDedupEnqueue, in.Ino(), entryOff, 0)
+			}
+		}
 		e.dwq.Enqueue(Node{Ino: in.Ino(), EntryOff: entryOff})
 	})
 	return e
@@ -113,10 +124,52 @@ type pageTxn struct {
 //	⑥ each UC is transferred to the RFC with one atomic store; flags move
 //	   to dedupe_complete and obsolete duplicate blocks are reclaimed.
 func (e *Engine) ProcessEntry(node Node) bool {
+	// Stage timing (revalidate → fingerprint → fact_txn → remap) plus the
+	// end-to-end dedup.process histogram. The daemon is off the foreground
+	// write path, so stage histograms are always recorded when an observer
+	// is installed; per-stage trace events only at the fine level.
+	o := e.obs
+	var start, mark time.Time
+	if o != nil {
+		start = time.Now()
+		mark = start
+	}
+	stage := func(op obs.Op, arg uint64) {
+		if o == nil {
+			return
+		}
+		now := time.Now()
+		d := now.Sub(mark)
+		mark = now
+		var h *obs.Histogram
+		switch op {
+		case obs.OpDedupRevalidate:
+			h = o.Revalidate
+		case obs.OpDedupFingerprint:
+			h = o.Fingerprint
+		case obs.OpDedupFactTxn:
+			h = o.FactTxn
+		case obs.OpDedupRemap:
+			h = o.Remap
+		}
+		h.Observe(d)
+		if o.Fine {
+			o.Tracer.Emit(op, node.Ino, arg, d)
+		}
+	}
+	finish := func(processed bool) bool {
+		if o != nil {
+			d := time.Since(start)
+			o.Process.Observe(d)
+			o.Tracer.Emit(obs.OpDedupProcess, node.Ino, node.EntryOff, d)
+		}
+		return processed
+	}
+
 	in, ok := e.fs.Inode(node.Ino)
 	if !ok {
 		atomic.AddInt64(&e.stats.EntriesSkipped, 1)
-		return false
+		return finish(false)
 	}
 	in.Lock()
 	defer in.Unlock()
@@ -125,13 +178,14 @@ func (e *Engine) ProcessEntry(node Node) bool {
 	// page could have been reused since enqueue.
 	if nova.DedupeFlagOf(e.fs.Dev, node.EntryOff) != nova.FlagNeeded {
 		atomic.AddInt64(&e.stats.EntriesSkipped, 1)
-		return false
+		return finish(false)
 	}
 	we, err := nova.ReadWriteEntry(e.fs.Dev, node.EntryOff)
 	if err != nil || we.Ino != node.Ino {
 		atomic.AddInt64(&e.stats.EntriesSkipped, 1)
-		return false
+		return finish(false)
 	}
+	stage(obs.OpDedupRevalidate, node.EntryOff)
 
 	// ②③ Fingerprint each still-current page and open FACT transactions.
 	var txns []pageTxn
@@ -161,6 +215,7 @@ func (e *Engine) ProcessEntry(node Node) bool {
 		}
 		txns = append(txns, pageTxn{pg: pg, block: block, factIdx: res.Idx, canonical: res.Canonical, dup: res.Dup})
 	}
+	stage(obs.OpDedupFingerprint, uint64(len(txns)))
 
 	// ④ Append a remapping write entry per duplicate page.
 	size := in.SizeLocked()
@@ -204,6 +259,7 @@ func (e *Engine) ProcessEntry(node Node) bool {
 		commitIdxs = append(commitIdxs, txn.factIdx)
 	}
 	e.table.CommitTxnBatch(commitIdxs)
+	stage(obs.OpDedupFactTxn, uint64(len(commitIdxs)))
 	// Remap duplicate pages onto their canonical blocks; the shadowed
 	// duplicate copies flow through Release → no FACT entry → freed.
 	for _, ae := range newEntries {
@@ -218,6 +274,7 @@ func (e *Engine) ProcessEntry(node Node) bool {
 		}
 	}
 	nova.SetDedupeFlag(e.fs.Dev, node.EntryOff, nova.FlagComplete)
+	stage(obs.OpDedupRemap, uint64(len(newEntries)))
 	atomic.AddInt64(&e.stats.EntriesProcessed, 1)
-	return true
+	return finish(true)
 }

@@ -78,6 +78,8 @@ type Table struct {
 	iamu    sync.Mutex
 	iaaFree []uint64 // free IAA entry indexes (DRAM free list, rebuilt at mount)
 
+	obs *Observer // metrics/tracing; nil = uninstrumented
+
 	// Reordering policy (§IV-E): a chain is reordered when a lookup walks
 	// deeper than DepthThreshold to find an entry whose RFC is at least
 	// RFCThreshold.

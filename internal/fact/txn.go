@@ -3,6 +3,9 @@ package fact
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
+
+	"denova/internal/obs"
 )
 
 // This file implements the deduplication transaction protocol of §IV-D and
@@ -42,6 +45,10 @@ type TxnResult struct {
 // transaction against the existing entry (UC++). Otherwise it inserts a
 // fresh entry for block with UC=1 and installs the block's delete pointer.
 func (t *Table) BeginTxn(fp FP, block uint64) (TxnResult, error) {
+	if o := t.obs; o != nil {
+		start := time.Now()
+		defer func() { o.observe(o.Begin, obs.OpFactBegin, block, time.Since(start)) }()
+	}
 	prefix := t.PrefixOf(fp)
 	mu := t.lockFor(prefix)
 	mu.Lock()
@@ -190,6 +197,10 @@ func (t *Table) CommitTxn(idx uint64) bool {
 // independent single-word commits, exactly as if they had been committed
 // one by one. Saves one fence per entry on the worker hot path.
 func (t *Table) CommitTxnBatch(idxs []uint64) int {
+	if o := t.obs; o != nil {
+		start := time.Now()
+		defer func() { o.observe(o.CommitBatch, obs.OpFactCommitBatch, uint64(len(idxs)), time.Since(start)) }()
+	}
 	committed := 0
 	for _, idx := range idxs {
 		off := t.entryOff(idx) + feCounts
@@ -278,6 +289,10 @@ type DecRefResult struct {
 // chain and free the block. A block whose RFC hits zero while UC>0 is kept:
 // the in-flight transaction is about to re-reference it.
 func (t *Table) DecRef(block uint64) DecRefResult {
+	if o := t.obs; o != nil {
+		start := time.Now()
+		defer func() { o.observe(o.DecRef, obs.OpFactDecRef, block, time.Since(start)) }()
+	}
 	idx, ok := t.DeletePtr(block)
 	if !ok {
 		return DecRefResult{HasEntry: false, FreeBlock: true}

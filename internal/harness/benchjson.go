@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"denova/internal/obs"
+	"denova/internal/workload"
+)
+
+// Machine-readable benchmark output: each run is written as
+// BENCH_<name>.json so CI can archive results as artifacts and plot trends
+// across commits. The report combines the harness's wall-clock throughput
+// with the observability layer's latency percentiles and counters — the
+// same numbers `denovactl top` and FS.Metrics() expose.
+
+// LatencySummary is one op's percentile digest inside a BenchReport.
+type LatencySummary struct {
+	Count int64 `json:"count"`
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	MaxNs int64 `json:"max_ns"`
+}
+
+// PmemCounters is the device-activity slice of a BenchReport.
+type PmemCounters struct {
+	FlushedLines int64 `json:"flushed_lines"`
+	NTLines      int64 `json:"nt_lines"`
+	Fences       int64 `json:"fences"`
+	ReadBytes    int64 `json:"read_bytes"`
+	WrittenBytes int64 `json:"written_bytes"`
+}
+
+// BenchReport is the schema of a BENCH_<name>.json file.
+type BenchReport struct {
+	Name        string  `json:"name"`
+	Model       string  `json:"model"`
+	Workload    string  `json:"workload"`
+	GeneratedAt string  `json:"generated_at"`
+	Threads     int     `json:"threads"`
+	Files       int     `json:"files"`
+	Bytes       int64   `json:"bytes"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	DrainNs     int64   `json:"drain_ns"`
+	OpsPerSec   float64 `json:"ops_per_sec"` // file writes per second (write phase)
+	MBps        float64 `json:"mbps"`        // write-phase throughput
+	Savings     float64 `json:"savings"`     // post-drain dedup savings [0,1]
+	QueuePeak   int     `json:"queue_peak"`
+
+	Pmem    PmemCounters              `json:"pmem"`
+	Latency map[string]LatencySummary `json:"latency"` // op name → percentiles
+}
+
+// benchOps is the op set whose percentiles a BenchReport carries (only ops
+// that actually observed samples are included).
+var benchOps = []string{
+	"nova.write", "nova.read", "nova.truncate",
+	"dedup.process", "dedup.batch", "dedup.queue_wait",
+	"fact.begin_txn", "fact.commit_batch", "fact.decref",
+}
+
+// buildReport assembles a BenchReport from one finished write run and the
+// FS's metrics snapshot.
+func buildReport(name string, res WriteResult, snap obs.Snapshot, queuePeak int) BenchReport {
+	rep := BenchReport{
+		Name:        name,
+		Model:       res.Model,
+		Workload:    res.Workload,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Threads:     res.Threads,
+		Files:       res.Files,
+		Bytes:       res.Bytes,
+		ElapsedNs:   res.Elapsed.Nanoseconds(),
+		DrainNs:     res.DrainTime.Nanoseconds(),
+		MBps:        res.MBps(),
+		Savings:     res.Savings,
+		QueuePeak:   queuePeak,
+		Pmem: PmemCounters{
+			FlushedLines: res.Dev.FlushedLines,
+			NTLines:      res.Dev.NTLines,
+			Fences:       res.Dev.Fences,
+			ReadBytes:    res.Dev.ReadBytes,
+			WrittenBytes: res.Dev.WrittenBytes,
+		},
+		Latency: map[string]LatencySummary{},
+	}
+	if res.Elapsed > 0 {
+		rep.OpsPerSec = float64(res.Files) / res.Elapsed.Seconds()
+	}
+	for _, op := range benchOps {
+		h, ok := snap.Histograms[op]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		rep.Latency[op] = LatencySummary{
+			Count: h.Count, P50Ns: h.P50Ns, P95Ns: h.P95Ns, P99Ns: h.P99Ns, MaxNs: h.MaxNs,
+		}
+	}
+	return rep
+}
+
+// RunBenchJSON executes one write benchmark and writes BENCH_<name>.json
+// into dir, returning the report and the file path. The name is derived
+// from the model and workload ("DeNOVA-Immediate" + "fio-4k" →
+// "denova-immediate_fio-4k") unless overridden via name.
+func RunBenchJSON(cfg FSConfig, spec workload.Spec, opts WriteOptions, dir, name string) (BenchReport, string, error) {
+	opts.KeepFS = true
+	res, fs, err := RunWrite(cfg, spec, opts)
+	if err != nil {
+		return BenchReport{}, "", err
+	}
+	snap := fs.Metrics()
+	queuePeak := fs.QueuePeak()
+	if err := fs.Unmount(); err != nil {
+		return BenchReport{}, "", err
+	}
+	if name == "" {
+		name = benchSlug(res.Model) + "_" + benchSlug(res.Workload)
+	}
+	rep := buildReport(name, res, snap, queuePeak)
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return rep, "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return rep, "", err
+	}
+	if err := f.Close(); err != nil {
+		return rep, "", err
+	}
+	return rep, path, nil
+}
+
+// benchSlug lowercases a label, maps non-filename characters to '-' and
+// trims dangling dashes.
+func benchSlug(s string) string {
+	s = strings.ToLower(s)
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+	return strings.Trim(s, "-")
+}
+
+// StandardBenchSpecs returns the workloads `make bench-json` runs: a
+// duplicate-heavy and a duplicate-poor stream, small enough for CI.
+func StandardBenchSpecs() []workload.Spec {
+	return []workload.Spec{
+		{Name: "dup50-4m", FileSize: 1 << 20, NumFiles: 4, DupRatio: 0.5, Seed: 42},
+		{Name: "dup05-4m", FileSize: 1 << 20, NumFiles: 4, DupRatio: 0.05, Seed: 43},
+	}
+}
+
+// WriteStandardBenchJSON runs the standard specs against the standard model
+// line-up and writes one BENCH_*.json per (model, workload) pair into dir.
+func WriteStandardBenchJSON(dir string) ([]string, error) {
+	var paths []string
+	for _, cfg := range StandardModels() {
+		for _, spec := range StandardBenchSpecs() {
+			_, path, err := RunBenchJSON(cfg, spec, WriteOptions{}, dir, "")
+			if err != nil {
+				return paths, fmt.Errorf("%s/%s: %w", cfg.Label(), spec.Name, err)
+			}
+			paths = append(paths, path)
+		}
+	}
+	return paths, nil
+}

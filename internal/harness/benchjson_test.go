@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"denova"
+	"denova/internal/nova"
+	"denova/internal/obs"
+	"denova/internal/pmem"
+	"denova/internal/workload"
+)
+
+func TestBenchJSONSmoke(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.Spec{Name: "smoke", FileSize: 256 << 10, NumFiles: 4, DupRatio: 0.5, Seed: 1}
+	rep, path, err := RunBenchJSON(
+		FSConfig{Mode: denova.ModeImmediate}, spec,
+		WriteOptions{Profile: pmem.ProfileZero}, dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_denova-immediate_smoke.json"); path != want {
+		t.Errorf("path = %q, want %q", path, want)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got BenchReport
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("BENCH file is not valid JSON: %v", err)
+	}
+	if got.OpsPerSec <= 0 || got.MBps <= 0 {
+		t.Errorf("throughput not positive: ops/s=%v MB/s=%v", got.OpsPerSec, got.MBps)
+	}
+	if got.Savings <= 0 {
+		t.Errorf("savings = %v for a 50%%-duplicate workload", got.Savings)
+	}
+	if got.Pmem.NTLines == 0 || got.Pmem.Fences == 0 {
+		t.Errorf("pmem counters empty: %+v", got.Pmem)
+	}
+	for _, op := range []string{"nova.write", "dedup.process", "fact.begin_txn"} {
+		l, ok := got.Latency[op]
+		if !ok || l.Count == 0 {
+			t.Errorf("latency for %q missing from report", op)
+			continue
+		}
+		if l.P50Ns <= 0 || l.P95Ns < l.P50Ns || l.P99Ns < l.P95Ns || l.MaxNs < l.P99Ns {
+			t.Errorf("latency for %q not monotone: %+v", op, l)
+		}
+	}
+	if rep.Name != "denova-immediate_smoke" {
+		t.Errorf("report name = %q", rep.Name)
+	}
+}
+
+func TestBenchSlug(t *testing.T) {
+	cases := map[string]string{
+		"DeNOVA-Immediate":      "denova-immediate",
+		"DeNOVA-Delayed(750,20000)": "denova-delayed-750-20000",
+		"Baseline NOVA":         "baseline-nova",
+		"dup50-4m":              "dup50-4m",
+	}
+	for in, want := range cases {
+		if got := benchSlug(in); got != want {
+			t.Errorf("benchSlug(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if s := benchSlug("a/b\\c d"); strings.ContainsAny(s, "/\\ ") {
+		t.Errorf("slug %q still contains filename-hostile characters", s)
+	}
+}
+
+// TestTracingOffOverheadGate checks the observability acceptance gate: with
+// tracing off, the always-on op-level instrumentation (two clock reads plus
+// a few atomic adds per op) must stay within noise of a completely
+// uninstrumented file system. Both variants run the identical bare-NOVA
+// write loop on a zero-latency device, interleaved across rounds so heap
+// and CPU-boost drift spread evenly; medians are compared with a generous
+// band because CI wall clocks are noisy.
+func TestTracingOffOverheadGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock gate is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("wall-clock gate skipped in -short")
+	}
+	const (
+		pages  = 2000
+		rounds = 5
+	)
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	run := func(instrument bool) time.Duration {
+		dev := pmem.New(64<<20, pmem.ProfileZero)
+		nfs, err := nova.Mkfs(dev, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if instrument {
+			reg := obs.NewRegistry()
+			tracer := obs.NewTracer(obs.TraceOff, 1, obs.DefaultTraceEvents)
+			nfs.SetObserver(nova.NewObserver(reg, tracer, false))
+		}
+		in, err := nfs.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < pages; i++ {
+			if _, err := nfs.Write(in, uint64(i%256)*4096, data, nova.FlagNone); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	run(true) // warmup
+	var off, bare []time.Duration
+	for r := 0; r < rounds; r++ {
+		bare = append(bare, run(false))
+		off = append(off, run(true))
+	}
+	med := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	mb, mo := med(bare), med(off)
+	t.Logf("bare median %v, instrumented(TraceOff) median %v (%.1f%%)",
+		mb, mo, float64(mo-mb)/float64(mb)*100)
+	if mo > mb*3/2 {
+		t.Errorf("TraceOff instrumentation overhead out of noise band: bare %v vs instrumented %v", mb, mo)
+	}
+}

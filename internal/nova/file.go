@@ -1,9 +1,12 @@
 package nova
 
 import (
-	"denova/internal/rtree"
 	"fmt"
 	"sync/atomic"
+	"time"
+
+	"denova/internal/obs"
+	"denova/internal/rtree"
 )
 
 // Write implements the five-step CoW write flow of Fig. 1:
@@ -31,6 +34,24 @@ func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint6
 	if in.dir {
 		return 0, fmt.Errorf("nova: inode %d is a directory", in.ino)
 	}
+	// Observability: op-level timing costs two clock reads per write; the
+	// per-step breakdown (and its extra clock reads) only at the fine level.
+	o := fs.obs
+	fine := o != nil && o.Fine
+	var start, mark time.Time
+	var dAlloc, dFill, dLog, dRadix, dReclaim time.Duration
+	if o != nil {
+		start = time.Now()
+		mark = start
+	}
+	step := func(d *time.Duration) {
+		if fine {
+			now := time.Now()
+			*d = now.Sub(mark)
+			mark = now
+		}
+	}
+
 	pg0 := off / PageSize
 	pgEnd := (off + uint64(len(data)) - 1) / PageSize
 	np := int64(pgEnd - pg0 + 1)
@@ -40,6 +61,7 @@ func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint6
 	if err != nil {
 		return 0, err
 	}
+	step(&dAlloc)
 
 	// ② Fill the pages. Fully page-aligned writes stream the caller's
 	// buffer straight to the device; partial first/last pages are assembled
@@ -59,6 +81,7 @@ func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint6
 		copy(buf[headPad:], data)
 		fs.Dev.WriteNT(int64(block)*PageSize, buf)
 	}
+	step(&dFill)
 
 	// ③ Append the write entry and commit the tail atomically.
 	end := off + uint64(len(data))
@@ -78,9 +101,13 @@ func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint6
 		return 0, err
 	}
 	fs.commitTailLocked(in)
+	step(&dLog)
 
-	// ④⑤ Radix update and reclamation of shadowed pages.
-	fs.installMappingLocked(in, pg0, block, np, entryOff)
+	// ④ Radix update, ⑤ reclamation of the shadowed pages.
+	fs.installRadixLocked(in, pg0, block, np, entryOff)
+	step(&dRadix)
+	fs.reclaimShadowedLocked(in)
+	step(&dReclaim)
 
 	if end > in.size {
 		in.size = end
@@ -90,20 +117,60 @@ func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint6
 	if fs.onWrite != nil {
 		fs.onWrite(in, entryOff)
 	}
+	if o != nil {
+		total := time.Since(start)
+		o.Write.Observe(total)
+		o.WriteBytes.Add(int64(len(data)))
+		o.Tracer.Emit(obs.OpWrite, in.ino, uint64(len(data)), total)
+		if fine {
+			o.WriteAlloc.Observe(dAlloc)
+			o.WriteFill.Observe(dFill)
+			o.WriteLog.Observe(dLog)
+			o.WriteRadix.Observe(dRadix)
+			o.WriteReclaim.Observe(dReclaim)
+			o.Tracer.Emit(obs.OpWriteAlloc, in.ino, block, dAlloc)
+			o.Tracer.Emit(obs.OpWriteFill, in.ino, uint64(np), dFill)
+			o.Tracer.Emit(obs.OpWriteLog, in.ino, entryOff, dLog)
+			o.Tracer.Emit(obs.OpWriteRadix, in.ino, pg0, dRadix)
+			o.Tracer.Emit(obs.OpWriteReclaim, in.ino, 0, dReclaim)
+		}
+	}
 	if in.shouldThoroughGC() {
 		fs.thoroughGCLocked(in)
 	}
 	return entryOff, nil
 }
 
-// installMappingLocked points file pages [pg0, pg0+np) at blocks
-// [block, block+np), maintaining log-page live counts and reclaiming the
-// blocks that become unreachable.
-func (fs *FS) installMappingLocked(in *Inode, pg0, block uint64, np int64, entryOff uint64) {
+// installRadixLocked is step ④: it points file pages [pg0, pg0+np) at
+// blocks [block, block+np), maintaining log-page live counts. Blocks
+// shadowed by the new mappings are collected into in.shadow (a per-inode
+// scratch reused across writes) for reclaimShadowedLocked — splitting radix
+// update from reclamation lets the two steps be timed independently and
+// matches the paper's step ④/⑤ boundary.
+func (fs *FS) installRadixLocked(in *Inode, pg0, block uint64, np int64, entryOff uint64) {
 	in.addLiveLocked(entryOff, int(np))
+	in.shadow = in.shadow[:0]
 	for i := int64(0); i < np; i++ {
-		fs.replaceMappingLocked(in, pg0+uint64(i), block+uint64(i), entryOff)
+		newBlock := block + uint64(i)
+		prev, replaced := in.tree.Insert(pg0+uint64(i), rtree.Value{Block: newBlock, Entry: entryOff})
+		if !replaced {
+			in.pages++
+			continue
+		}
+		fs.dropLiveLocked(in, prev.Entry, 1)
+		if prev.Block != newBlock {
+			in.shadow = append(in.shadow, prev.Block)
+		}
 	}
+}
+
+// reclaimShadowedLocked is step ⑤: it releases the blocks collected by
+// installRadixLocked (through the releaser, so shared blocks survive).
+func (fs *FS) reclaimShadowedLocked(in *Inode) {
+	for _, b := range in.shadow {
+		fs.freeData(b)
+	}
+	in.shadow = in.shadow[:0]
 }
 
 // replaceMappingLocked installs a single page mapping, dropping the live
@@ -146,6 +213,11 @@ func (fs *FS) Read(in *Inode, off uint64, buf []byte) (int, error) {
 	if off >= in.size {
 		return 0, nil
 	}
+	o := fs.obs
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
 	n := uint64(len(buf))
 	if off+n > in.size {
 		n = in.size - off
@@ -173,6 +245,12 @@ func (fs *FS) Read(in *Inode, off uint64, buf []byte) (int, error) {
 			}
 		}
 		read += chunk
+	}
+	if o != nil {
+		d := time.Since(start)
+		o.Read.Observe(d)
+		o.ReadBytes.Add(int64(n))
+		o.Tracer.Emit(obs.OpRead, in.ino, n, d)
 	}
 	return int(n), nil
 }

@@ -38,6 +38,7 @@ type FS struct {
 
 	releaser BlockReleaser
 	onWrite  WriteHook
+	obs      *Observer // metrics/tracing; nil = uninstrumented
 
 	// mountWorkers is the Mount-time scan pool size (see WithMountWorkers).
 	mountWorkers int

@@ -3,7 +3,9 @@ package nova
 import (
 	"sort"
 	"sync/atomic"
+	"time"
 
+	"denova/internal/obs"
 	"denova/internal/rtree"
 )
 
@@ -48,9 +50,17 @@ func (in *Inode) shouldThoroughGC() bool {
 // thoroughGCLocked compacts the inode's log. Returns the number of log
 // pages reclaimed (0 when compaction was not worthwhile). The inode lock
 // must be held, and the log must have no uncommitted appends.
-func (fs *FS) thoroughGCLocked(in *Inode) int {
+func (fs *FS) thoroughGCLocked(in *Inode) (reclaimedPages int) {
 	if in.pending != 0 && in.pending != in.logTail {
 		return 0 // uncommitted entries in flight; caller bug, stay safe
+	}
+	if o := fs.obs; o != nil {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start)
+			o.GC.Observe(d)
+			o.Tracer.Emit(obs.OpGCThorough, in.ino, uint64(reclaimedPages), d)
+		}()
 	}
 	tailPage := pageOfOff(in.logTail)
 

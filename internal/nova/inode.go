@@ -157,6 +157,7 @@ type Inode struct {
 	logPages []uint64       // ordered log page blocks
 	live     map[uint64]int // log page block -> live references
 	pages    uint64         // data pages currently referenced
+	shadow   []uint64       // write-path scratch: blocks shadowed by step ④, freed in ⑤
 
 	names map[string]uint64 // directories only: name -> ino
 }

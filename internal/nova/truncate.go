@@ -2,8 +2,10 @@ package nova
 
 import (
 	"fmt"
+	"time"
 
 	"denova/internal/layout"
+	"denova/internal/obs"
 	"denova/internal/rtree"
 )
 
@@ -69,6 +71,14 @@ func (fs *FS) Truncate(in *Inode, size uint64, flag uint8) error {
 	}
 	if size == in.size {
 		return nil
+	}
+	if o := fs.obs; o != nil {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start)
+			o.Truncate.Observe(d)
+			o.Tracer.Emit(obs.OpTruncate, in.ino, size, d)
+		}()
 	}
 	var tailRemap *WriteEntry
 	if size < in.size && size%PageSize != 0 {

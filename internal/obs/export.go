@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a stable, machine-readable capture of a registry. Map keys
+// are metric names; encoding/json sorts map keys, so the serialized form is
+// deterministic for a given state.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]int64          `json:"gauges"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// MarshalJSON is the stable snapshot encoding (indent-free; use
+// json.MarshalIndent on the struct for pretty output).
+func (s Snapshot) JSON() ([]byte, error) { return json.Marshal(s) }
+
+// WriteJSON writes the snapshot as JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// promName converts a dotted metric name to a Prometheus-compatible one.
+func promName(name string) string {
+	r := strings.NewReplacer(".", "_", "-", "_", "/", "_")
+	return "denova_" + r.Replace(name)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: counters and gauges as single series, histograms as
+// count/sum/max plus quantile series.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(n), promName(n), s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", promName(n), promName(n), s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		p := promName(n) + "_ns"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", p); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			v     int64
+		}{{"0.5", h.P50Ns}, {"0.95", h.P95Ns}, {"0.99", h.P99Ns}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", p, q.label, q.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n%s_max %d\n", p, h.SumNs, p, h.Count, p, h.MaxNs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tracedEvent is the JSON form of an Event with the op name spelled out.
+type tracedEvent struct {
+	Event
+	OpName string `json:"op_name"`
+}
+
+// TraceDump is the serialized form of a tracer ring (the denovactl trace
+// sidecar format).
+type TraceDump struct {
+	Frozen  bool          `json:"frozen"`
+	Dropped int64         `json:"dropped"`
+	Emitted int64         `json:"emitted"`
+	Events  []tracedEvent `json:"events"`
+}
+
+// EncodeTrace serializes the tracer's current ring (oldest event first) as
+// JSON. Safe on a nil tracer (writes an empty dump).
+func EncodeTrace(w io.Writer, t *Tracer) error {
+	dump := TraceDump{}
+	if t != nil {
+		dump.Frozen = t.Frozen()
+		dump.Dropped = t.Dropped()
+		dump.Emitted = t.Emitted()
+		for _, ev := range t.Events() {
+			dump.Events = append(dump.Events, tracedEvent{Event: ev, OpName: ev.Op.String()})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(dump)
+}
+
+// DecodeTrace parses a dump produced by EncodeTrace.
+func DecodeTrace(r io.Reader) (TraceDump, error) {
+	var dump TraceDump
+	err := json.NewDecoder(r).Decode(&dump)
+	return dump, err
+}
+
+// FormatEvent renders one event for terminal output.
+func FormatEvent(ev Event) string {
+	s := fmt.Sprintf("%d shard=%d %-24s ino=%d arg=%d", ev.TS, ev.Shard, ev.Op.String(), ev.Ino, ev.Arg)
+	if ev.DurNs > 0 {
+		s += fmt.Sprintf(" dur=%dns", ev.DurNs)
+	}
+	return s
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server is the optional live-export HTTP endpoint. It serves:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  stable JSON snapshot
+//	/trace?n=N     last N trace events as JSON (all, when n is absent)
+type Server struct {
+	Addr string // actual listen address (host:port), useful with ":0"
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve starts the endpoint on addr (e.g. "127.0.0.1:9090", or ":0" for an
+// ephemeral port). snap is called per request; tracer may be nil.
+func Serve(addr string, snap func() Snapshot, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		snap().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		encodeTraceLast(w, tracer, r.URL.Query().Get("n"))
+	})
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+func encodeTraceLast(w http.ResponseWriter, t *Tracer, nStr string) {
+	if t == nil {
+		EncodeTrace(w, nil)
+		return
+	}
+	n := 0
+	if nStr != "" {
+		if v, err := strconv.Atoi(nStr); err == nil {
+			n = v
+		}
+	}
+	dump := TraceDump{Frozen: t.Frozen(), Dropped: t.Dropped(), Emitted: t.Emitted()}
+	for _, ev := range t.Last(n) {
+		dump.Events = append(dump.Events, tracedEvent{Event: ev, OpName: ev.Op.String()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(dump); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

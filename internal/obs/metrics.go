@@ -1,0 +1,310 @@
+// Package obs is DeNOVA's observability layer: a low-overhead,
+// concurrency-safe metrics registry (atomic counters, gauges, and
+// fixed-bucket latency histograms) plus a sharded ring-buffer event tracer
+// (trace.go) and exporters (export.go, http.go).
+//
+// The design goal is that instrumentation can stay enabled on hot paths:
+// observing a latency costs a handful of atomic adds (no locks, no
+// allocation), and tracing is a single atomic load when disabled. Layers
+// (nova, fact, dedup) hold direct *Counter/*Histogram pointers resolved
+// once at mount, so the registry map is never touched on an operation path.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing (or externally mirrored) int64.
+type Counter struct{ v int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { atomic.AddInt64(&c.v, n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { atomic.AddInt64(&c.v, 1) }
+
+// Store overwrites the value; used to mirror counters maintained elsewhere
+// (pmem/fact/dedup keep their own atomics) into the registry at snapshot
+// time.
+func (c *Counter) Store(n int64) { atomic.StoreInt64(&c.v, n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return atomic.LoadInt64(&c.v) }
+
+// Gauge is an instantaneous int64 value (queue depth, free blocks, ...).
+type Gauge struct{ v int64 }
+
+// Store sets the gauge.
+func (g *Gauge) Store(n int64) { atomic.StoreInt64(&g.v, n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return atomic.LoadInt64(&g.v) }
+
+// Histogram bucket layout: values 0..7 ns get exact buckets; beyond that
+// each power-of-two octave is split into 4 sub-buckets (2 mantissa bits),
+// bounding the relative quantization error at 1/4. The full int64 range
+// needs (63-3)*4 + 8 = 248 buckets; 256 leaves headroom.
+const (
+	histExact   = 8 // exact buckets for values < 8
+	histSubBits = 2 // sub-buckets per octave = 1<<histSubBits
+	HistBuckets = 256
+)
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histExact {
+		return int(u)
+	}
+	msb := bits.Len64(u) - 1 // >= 3
+	sub := (u >> (uint(msb) - histSubBits)) & (1<<histSubBits - 1)
+	return msb*(1<<histSubBits) + int(sub) - 4
+}
+
+// bucketLower returns the smallest value mapping to bucket i.
+func bucketLower(i int) int64 {
+	if i < histExact {
+		return int64(i)
+	}
+	octave := (i + 4) / (1 << histSubBits)
+	sub := (i + 4) % (1 << histSubBits)
+	return int64(4+sub) << (uint(octave) - histSubBits)
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i+1 >= HistBuckets {
+		return int64(^uint64(0) >> 1)
+	}
+	return bucketLower(i + 1)
+}
+
+// Histogram is a fixed-bucket latency histogram in nanoseconds. All methods
+// are safe for concurrent use; Observe performs three atomic adds and at
+// most one CAS loop (for the max), with no allocation.
+type Histogram struct {
+	count   int64
+	sum     int64
+	max     int64
+	buckets [HistBuckets]int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(d.Nanoseconds()) }
+
+// ObserveNs records one latency in nanoseconds.
+func (h *Histogram) ObserveNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	atomic.AddInt64(&h.buckets[bucketIndex(ns)], 1)
+	atomic.AddInt64(&h.count, 1)
+	atomic.AddInt64(&h.sum, ns)
+	for {
+		m := atomic.LoadInt64(&h.max)
+		if ns <= m || atomic.CompareAndSwapInt64(&h.max, m, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.count) }
+
+// Merge folds other into h (per-shard histogram aggregation). other should
+// be quiescent; concurrent observers on h are fine.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := range other.buckets {
+		if n := atomic.LoadInt64(&other.buckets[i]); n != 0 {
+			atomic.AddInt64(&h.buckets[i], n)
+		}
+	}
+	atomic.AddInt64(&h.count, atomic.LoadInt64(&other.count))
+	atomic.AddInt64(&h.sum, atomic.LoadInt64(&other.sum))
+	om := atomic.LoadInt64(&other.max)
+	for {
+		m := atomic.LoadInt64(&h.max)
+		if om <= m || atomic.CompareAndSwapInt64(&h.max, m, om) {
+			return
+		}
+	}
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in nanoseconds by
+// cumulative bucket counts with linear interpolation inside the final
+// bucket, clamped to the exact observed maximum. Returns 0 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := atomic.LoadInt64(&h.count)
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := 0; i < HistBuckets; i++ {
+		n := atomic.LoadInt64(&h.buckets[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := bucketLower(i), bucketUpper(i)
+			est := lo + int64(float64(hi-lo)*float64(target-cum)/float64(n))
+			if m := atomic.LoadInt64(&h.max); est > m {
+				est = m
+			}
+			return est
+		}
+		cum += n
+	}
+	return atomic.LoadInt64(&h.max)
+}
+
+// HistogramStats is a point-in-time summary of a histogram, in the stable
+// shape the JSON snapshot exports.
+type HistogramStats struct {
+	Count  int64   `json:"count"`
+	SumNs  int64   `json:"sum_ns"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// Stats summarizes the histogram. The summary is computed from one pass of
+// atomic loads; concurrent observers may make Count/Sum slightly newer than
+// the percentiles, which is fine for a monitoring snapshot.
+func (h *Histogram) Stats() HistogramStats {
+	c := atomic.LoadInt64(&h.count)
+	s := atomic.LoadInt64(&h.sum)
+	st := HistogramStats{
+		Count: c,
+		SumNs: s,
+		P50Ns: h.Quantile(0.50),
+		P95Ns: h.Quantile(0.95),
+		P99Ns: h.Quantile(0.99),
+		MaxNs: atomic.LoadInt64(&h.max),
+	}
+	if c > 0 {
+		st.MeanNs = float64(s) / float64(c)
+	}
+	return st
+}
+
+// Registry is a named collection of metrics. Lookups lock; hot paths should
+// resolve their metrics once and keep the pointers.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gaugs map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		gaugs: make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gaugs[name]
+	if !ok {
+		g = &Gauge{}
+		r.gaugs[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetCounter mirrors an externally maintained monotonic value.
+func (r *Registry) SetCounter(name string, v int64) { r.Counter(name).Store(v) }
+
+// SetGauge sets an instantaneous value.
+func (r *Registry) SetGauge(name string, v int64) { r.Gauge(name).Store(v) }
+
+// Snapshot captures every metric. The maps are freshly allocated; the
+// caller owns them.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := struct{ c, g, h []string }{}
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for n, c := range r.ctrs {
+		names.c = append(names.c, n)
+		ctrs[n] = c
+	}
+	gaugs := make(map[string]*Gauge, len(r.gaugs))
+	for n, g := range r.gaugs {
+		names.g = append(names.g, n)
+		gaugs[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		names.h = append(names.h, n)
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	sort.Strings(names.c)
+	sort.Strings(names.g)
+	sort.Strings(names.h)
+
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(ctrs)),
+		Gauges:     make(map[string]int64, len(gaugs)),
+		Histograms: make(map[string]HistogramStats, len(hists)),
+	}
+	for _, n := range names.c {
+		snap.Counters[n] = ctrs[n].Load()
+	}
+	for _, n := range names.g {
+		snap.Gauges[n] = gaugs[n].Load()
+	}
+	for _, n := range names.h {
+		snap.Histograms[n] = hists[n].Stats()
+	}
+	return snap
+}

@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// TraceLevel selects how much the event tracer records.
+type TraceLevel int32
+
+const (
+	// TraceOff disables the tracer entirely; Emit is one atomic load.
+	TraceOff TraceLevel = iota
+	// TraceOps records one event per file-system / dedup / fact operation.
+	TraceOps
+	// TraceFine additionally records per-stage events (write-path steps,
+	// dedup pipeline stages) and enables the fine step histograms.
+	TraceFine
+)
+
+func (l TraceLevel) String() string {
+	switch l {
+	case TraceOff:
+		return "off"
+	case TraceOps:
+		return "ops"
+	case TraceFine:
+		return "fine"
+	}
+	return "unknown"
+}
+
+// Op identifies the event type of a trace record.
+type Op uint16
+
+const (
+	OpNone Op = iota
+	OpWrite
+	OpWriteAlloc
+	OpWriteFill
+	OpWriteLog
+	OpWriteRadix
+	OpWriteReclaim
+	OpRead
+	OpTruncate
+	OpGCThorough
+	OpDedupEnqueue
+	OpDedupProcess
+	OpDedupRevalidate
+	OpDedupFingerprint
+	OpDedupFactTxn
+	OpDedupRemap
+	OpDedupBatch
+	OpFactBegin
+	OpFactCommitBatch
+	OpFactDecRef
+	OpScrub
+	OpRecoveryPass
+	OpCrash
+	opMax
+)
+
+var opNames = [...]string{
+	OpNone:             "none",
+	OpWrite:            "nova.write",
+	OpWriteAlloc:       "nova.write.alloc",
+	OpWriteFill:        "nova.write.fill",
+	OpWriteLog:         "nova.write.log_commit",
+	OpWriteRadix:       "nova.write.radix",
+	OpWriteReclaim:     "nova.write.reclaim",
+	OpRead:             "nova.read",
+	OpTruncate:         "nova.truncate",
+	OpGCThorough:       "nova.gc.thorough",
+	OpDedupEnqueue:     "dedup.enqueue",
+	OpDedupProcess:     "dedup.process",
+	OpDedupRevalidate:  "dedup.stage.revalidate",
+	OpDedupFingerprint: "dedup.stage.fingerprint",
+	OpDedupFactTxn:     "dedup.stage.fact_txn",
+	OpDedupRemap:       "dedup.stage.remap",
+	OpDedupBatch:       "dedup.batch",
+	OpFactBegin:        "fact.begin_txn",
+	OpFactCommitBatch:  "fact.commit_batch",
+	OpFactDecRef:       "fact.decref",
+	OpScrub:            "dedup.scrub",
+	OpRecoveryPass:     "recovery.pass",
+	OpCrash:            "crash",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Event is one trace record. Fixed size, stored by value in the ring, so
+// emitting never allocates.
+type Event struct {
+	TS    int64  `json:"ts_ns"`             // unix nanoseconds at emit
+	DurNs int64  `json:"dur_ns,omitempty"`  // operation duration, 0 for points
+	Op    Op     `json:"op"`                // event type (Op.String() in JSON exports)
+	Shard uint16 `json:"shard"`             // ring shard that recorded it
+	Ino   uint64 `json:"ino,omitempty"`     // inode, when applicable
+	Arg   uint64 `json:"arg,omitempty"`     // op-specific (entry offset, block, count)
+	Seq   uint64 `json:"seq"`               // per-shard sequence (drop accounting)
+}
+
+// traceSlot is one ring cell. Every field is written and read atomically so
+// a writer lapping the ring while a reader (or slower writer) touches the
+// same cell is a torn event at worst, never a data race. seq is stored last
+// and is 1-based; 0 means the cell was never written.
+type traceSlot struct {
+	ts   int64
+	dur  int64
+	meta uint64 // op in bits 0..15, shard in bits 16..31
+	ino  uint64
+	arg  uint64
+	seq  uint64 // claim sequence + 1
+}
+
+// traceShard is one ring segment: a power-of-two slot array with an atomic
+// write cursor. Concurrent emitters claim distinct slots with one atomic
+// add; old slots are overwritten (drop-oldest).
+type traceShard struct {
+	next  uint64 // atomic: total events ever claimed in this shard
+	slots []traceSlot
+	_     [32]byte // pad to keep shard cursors off one cache line
+}
+
+// load reads cell i as an Event; ok is false for a never-written cell.
+func (sh *traceShard) load(i uint64) (Event, bool) {
+	s := &sh.slots[i]
+	seq := atomic.LoadUint64(&s.seq)
+	if seq == 0 {
+		return Event{}, false
+	}
+	meta := atomic.LoadUint64(&s.meta)
+	return Event{
+		TS:    atomic.LoadInt64(&s.ts),
+		DurNs: atomic.LoadInt64(&s.dur),
+		Op:    Op(meta & 0xFFFF),
+		Shard: uint16(meta >> 16),
+		Ino:   atomic.LoadUint64(&s.ino),
+		Arg:   atomic.LoadUint64(&s.arg),
+		Seq:   seq - 1,
+	}, true
+}
+
+// Tracer is the sharded ring-buffer event tracer. Emitting an event while
+// enabled is an atomic add plus a struct store; while disabled or frozen it
+// is a single atomic load. Events are dropped oldest-first per shard when a
+// shard ring wraps.
+type Tracer struct {
+	state  int32 // TraceLevel; negative = frozen (post-crash)
+	shards []traceShard
+	mask   uint64
+	start  time.Time
+}
+
+// DefaultTraceEvents is the default total ring capacity.
+const DefaultTraceEvents = 8192
+
+// NewTracer builds a tracer with the given level, shard count, and total
+// capacity (rounded up so each shard is a power of two, min 64 per shard).
+func NewTracer(level TraceLevel, shards, capacity int) *Tracer {
+	if shards < 1 {
+		shards = 1
+	}
+	if capacity < shards*64 {
+		capacity = shards * 64
+	}
+	per := 1
+	for per < capacity/shards {
+		per <<= 1
+	}
+	t := &Tracer{shards: make([]traceShard, shards), mask: uint64(per - 1), start: time.Now()}
+	for i := range t.shards {
+		t.shards[i].slots = make([]traceSlot, per)
+	}
+	atomic.StoreInt32(&t.state, int32(level))
+	return t
+}
+
+// Level returns the current trace level (TraceOff when frozen).
+func (t *Tracer) Level() TraceLevel {
+	if t == nil {
+		return TraceOff
+	}
+	s := atomic.LoadInt32(&t.state)
+	if s < 0 {
+		return TraceOff
+	}
+	return TraceLevel(s)
+}
+
+// Fine reports whether per-stage events should be emitted.
+func (t *Tracer) Fine() bool { return t.Level() >= TraceFine }
+
+// Enabled reports whether Emit currently records anything.
+func (t *Tracer) Enabled() bool { return t.Level() >= TraceOps }
+
+// Freeze stops the tracer permanently, preserving the ring contents for a
+// post-mortem dump. Called from the pmem crash hook so the final events
+// before an injected crash stay readable.
+func (t *Tracer) Freeze() {
+	if t == nil {
+		return
+	}
+	for {
+		s := atomic.LoadInt32(&t.state)
+		if s < 0 {
+			return
+		}
+		if atomic.CompareAndSwapInt32(&t.state, s, -s-1) {
+			return
+		}
+	}
+}
+
+// Frozen reports whether Freeze was called.
+func (t *Tracer) Frozen() bool { return t != nil && atomic.LoadInt32(&t.state) < 0 }
+
+// shardOf spreads inodes across shards (Fibonacci hashing; sequential inode
+// numbers are low-entropy).
+func (t *Tracer) shardOf(ino uint64) int {
+	h := ino * 0x9E3779B97F4A7C15
+	return int(h % uint64(len(t.shards)))
+}
+
+// Emit records an event keyed by inode. Safe from any goroutine; no-op (one
+// atomic load) when the tracer is nil, off, or frozen.
+func (t *Tracer) Emit(op Op, ino, arg uint64, dur time.Duration) {
+	if t == nil || atomic.LoadInt32(&t.state) < int32(TraceOps) {
+		return
+	}
+	t.emit(t.shardOf(ino), op, ino, arg, dur)
+}
+
+// EmitShard records an event on an explicit shard (dedup workers use their
+// worker id so each worker's stream stays contiguous).
+func (t *Tracer) EmitShard(shard int, op Op, ino, arg uint64, dur time.Duration) {
+	if t == nil || atomic.LoadInt32(&t.state) < int32(TraceOps) {
+		return
+	}
+	t.emit(shard%len(t.shards), op, ino, arg, dur)
+}
+
+func (t *Tracer) emit(shard int, op Op, ino, arg uint64, dur time.Duration) {
+	sh := &t.shards[shard]
+	seq := atomic.AddUint64(&sh.next, 1) - 1
+	s := &sh.slots[seq&t.mask]
+	atomic.StoreInt64(&s.ts, time.Now().UnixNano())
+	atomic.StoreInt64(&s.dur, dur.Nanoseconds())
+	atomic.StoreUint64(&s.meta, uint64(op)|uint64(shard)<<16)
+	atomic.StoreUint64(&s.ino, ino)
+	atomic.StoreUint64(&s.arg, arg)
+	atomic.StoreUint64(&s.seq, seq+1)
+}
+
+// Dropped returns the number of events overwritten before they could be
+// read (drop-oldest accounting), summed across shards.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	var dropped int64
+	for i := range t.shards {
+		sh := &t.shards[i]
+		n := int64(atomic.LoadUint64(&sh.next))
+		if c := int64(len(sh.slots)); n > c {
+			dropped += n - c
+		}
+	}
+	return dropped
+}
+
+// Emitted returns the lifetime number of events recorded (including
+// subsequently overwritten ones).
+func (t *Tracer) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	var n int64
+	for i := range t.shards {
+		n += int64(atomic.LoadUint64(&t.shards[i].next))
+	}
+	return n
+}
+
+// Events returns the ring contents ordered by timestamp (oldest first).
+// Reading is best-effort against concurrent emitters: a slot being written
+// while read may carry a torn event, which is acceptable for a debug
+// tracer; freeze first for an exact dump.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for i := range t.shards {
+		sh := &t.shards[i]
+		n := atomic.LoadUint64(&sh.next)
+		c := uint64(len(sh.slots))
+		lo := uint64(0)
+		if n > c {
+			lo = n - c
+		}
+		for s := lo; s < n; s++ {
+			if ev, ok := sh.load(s & t.mask); ok && ev.Op != OpNone {
+				out = append(out, ev)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Last returns the most recent n events, oldest first.
+func (t *Tracer) Last(n int) []Event {
+	evs := t.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}

@@ -77,9 +77,17 @@ func (d *Device) persistPoint() {
 	if atomic.LoadInt32(&d.crashArmed) == 1 && n == atomic.LoadInt64(&d.crashAt) {
 		atomic.StoreInt32(&d.crashArmed, 0)
 		atomic.StoreInt32(&d.dead, 1)
+		if h := d.onCrash; h != nil {
+			h()
+		}
 		panic(ErrCrashInjected)
 	}
 }
+
+// SetCrashHook installs a callback invoked exactly once when an injected
+// crash fires, before the ErrCrashInjected panic unwinds. Install it before
+// arming the injector; the hook must not access the device.
+func (d *Device) SetCrashHook(h func()) { d.onCrash = h }
 
 // RunToCrash executes fn, recovering an injected crash. It returns true if
 // fn was interrupted by ErrCrashInjected and false if fn ran to completion.

@@ -79,6 +79,12 @@ type Device struct {
 	crashAt    int64 // persist-op ordinal that triggers the crash
 	persistOps int64
 	dead       int32 // 1 after an injected crash fired; device is frozen
+
+	// onCrash, when set, runs exactly once as the injected crash fires,
+	// before the panic unwinds — the observability layer uses it to freeze
+	// the trace ring so the final pre-crash events survive for post-mortem
+	// dumps. It must not touch the device.
+	onCrash func()
 }
 
 // New creates a device of the given size (rounded up to a page multiple)

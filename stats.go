@@ -52,6 +52,13 @@ type Stats struct {
 // Stats gathers a snapshot. It walks every file's mappings to compute the
 // logical/physical page counts, so it is not free; call it between
 // measurement phases, not inside them.
+//
+// The result is a point-in-time snapshot: every slice (Queue.Shards,
+// Workers) is a defensive copy owned by the caller, safe to retain and
+// read while writers, dedup workers, and GC keep running. Fields read at
+// slightly different instants may be mutually inconsistent (e.g. Queue.Len
+// vs the sum of Queue.Shards); each individual value was true at some
+// moment during the call.
 func (f *FS) Stats() Stats {
 	var st Stats
 	st.FS = f.fs.Stats()
@@ -66,11 +73,13 @@ func (f *FS) Stats() Stats {
 			Peak:     q.Peak(),
 			Enqueued: enq,
 			Dequeued: deq,
-			Shards:   q.ShardLens(),
+			// Copy even though ShardLens allocates today: the snapshot
+			// contract must not depend on a lower layer's implementation.
+			Shards: append([]int(nil), q.ShardLens()...),
 		}
 	}
 	if f.daemon != nil {
-		st.Workers = f.daemon.WorkerStats()
+		st.Workers = append([]dedup.WorkerStat(nil), f.daemon.WorkerStats()...)
 	}
 	distinct := make(map[uint64]bool)
 	var logical int64
