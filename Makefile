@@ -1,17 +1,23 @@
 GO ?= go
 
-.PHONY: all build lint test race torture bench bench-recovery bench-json clean
+.PHONY: all build lint vet test race torture bench bench-recovery bench-json clean
 
 all: build lint test
 
 build:
 	$(GO) build ./...
 
-# lint = the compiler's vet plus DeNOVA's own persistence-ordering checks
-# (persistcheck, atomcheck, fencecheck — see internal/analysis).
+# lint = the compiler's vet plus DeNOVA's own analyzers (persistcheck,
+# atomcheck, fencecheck, lockcheck, atomfieldcheck — see internal/analysis).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/denova-vet ./...
+
+# vet = the same analyzers, but emitting the machine-readable report CI
+# uploads as an artifact. Exit 1 on any non-baseline finding (the tree
+# carries no baseline: it must stay clean).
+vet:
+	$(GO) run ./cmd/denova-vet -json ./... > vet-findings.json; st=$$?; cat vet-findings.json; exit $$st
 
 test:
 	$(GO) test ./...

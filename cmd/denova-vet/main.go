@@ -1,15 +1,24 @@
-// Command denova-vet runs DeNOVA's persistence-ordering static checks
-// (persistcheck, atomcheck, fencecheck — see internal/analysis) over the
+// Command denova-vet runs DeNOVA's static checks (persistcheck, atomcheck,
+// fencecheck, lockcheck, atomfieldcheck — see internal/analysis) over the
 // repository.
 //
 // Standalone usage (the mode CI uses):
 //
 //	go run ./cmd/denova-vet ./...
 //	go run ./cmd/denova-vet -list
-//	go run ./cmd/denova-vet -check persistcheck ./internal/nova
+//	go run ./cmd/denova-vet -lockcheck=false ./internal/nova
+//	go run ./cmd/denova-vet -json -baseline vet-baseline.json ./...
 //
-// It exits 1 when any diagnostic survives (suppress intentional patterns
-// with the //denova:persist-ok directive), and 0 on a clean tree.
+// Exit codes form a taxonomy CI can gate on:
+//
+//	0  clean (or every finding matched the baseline)
+//	1  new findings (not in the baseline)
+//	2  usage or configuration error (bad flag, unknown check, bad baseline)
+//	3  load/type-check failure (the tree does not build)
+//
+// -json emits a machine-readable report on stdout; -baseline filters known
+// findings (matched by file+check+message, line-insensitive so unrelated
+// edits don't invalidate it); -write-baseline records the current findings.
 //
 // The binary also answers the `go vet -vettool` probe protocol (-V=full,
 // -flags, and a unit .cfg file) on a best-effort basis, so
@@ -21,11 +30,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"denova/internal/analysis"
+)
+
+// Exit codes.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+	exitLoad     = 3
 )
 
 func main() {
@@ -34,7 +52,7 @@ func main() {
 	if len(os.Args) == 2 {
 		switch {
 		case strings.HasPrefix(os.Args[1], "-V"):
-			fmt.Println("denova-vet version 1")
+			fmt.Println("denova-vet version 2")
 			return
 		case os.Args[1] == "-flags":
 			fmt.Println("[]")
@@ -43,83 +61,210 @@ func main() {
 			os.Exit(runVetCfg(os.Args[1]))
 		}
 	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// jsonReport is the -json output schema.
+type jsonReport struct {
+	Version            int           `json:"version"`
+	Checks             []string      `json:"checks"`
+	Findings           []jsonFinding `json:"findings"`
+	BaselineSuppressed int           `json:"baseline_suppressed"`
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// baselineKey identifies a finding across unrelated line shifts.
+func (f jsonFinding) baselineKey() string {
+	return f.File + "\x00" + f.Check + "\x00" + f.Message
+}
+
+// run is the testable CLI entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("denova-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list   = flag.Bool("list", false, "list the available checks and exit")
-		checks = flag.String("check", "", "comma-separated subset of checks to run (default: all)")
+		list          = fs.Bool("list", false, "list the available checks and exit")
+		checks        = fs.String("check", "", "comma-separated subset of checks to run (default: all enabled)")
+		jsonOut       = fs.Bool("json", false, "emit a JSON findings report on stdout")
+		baseline      = fs.String("baseline", "", "JSON report of known findings to filter out")
+		writeBaseline = fs.String("write-baseline", "", "write the current findings as a baseline file and exit 0")
 	)
-	flag.Parse()
+	enabled := make(map[string]*bool, len(analysis.All))
+	for _, c := range analysis.All {
+		enabled[c.Name] = fs.Bool(c.Name, true, "enable the "+c.Name+" analyzer")
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 	if *list {
 		for _, c := range analysis.All {
-			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
+			fmt.Fprintf(stdout, "%-15s %s\n", c.Name, c.Doc)
 		}
-		return
+		return exitClean
 	}
-	patterns := flag.Args()
+	selected, err := selectChecks(*checks, enabled)
+	if err != nil {
+		fmt.Fprintln(stderr, "denova-vet:", err)
+		return exitUsage
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(stderr, "denova-vet: every analyzer is disabled")
+		return exitUsage
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	selected, err := selectChecks(*checks)
-	if err != nil {
-		fatal(err)
-	}
-
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "denova-vet:", err)
+		return exitLoad
 	}
 	loader, err := analysis.NewLoader(cwd)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "denova-vet:", err)
+		return exitLoad
 	}
 	dirs, err := analysis.ExpandPatterns(cwd, patterns)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "denova-vet:", err)
+		return exitLoad
 	}
-	bad := 0
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
+	prog, err := loader.LoadProgram(dirs)
+	if err != nil {
+		fmt.Fprintln(stderr, "denova-vet:", err)
+		return exitLoad
+	}
+
+	findings := toFindings(cwd, analysis.RunProgram(prog, selected))
+
+	if *writeBaseline != "" {
+		rep := report(selected, findings, 0)
+		if err := writeJSON(*writeBaseline, rep); err != nil {
+			fmt.Fprintln(stderr, "denova-vet:", err)
+			return exitUsage
+		}
+		fmt.Fprintf(stderr, "denova-vet: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return exitClean
+	}
+
+	suppressed := 0
+	if *baseline != "" {
+		known, err := readBaseline(*baseline)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "denova-vet:", err)
+			return exitUsage
 		}
-		for _, d := range analysis.RunPackage(pkg, selected) {
-			fmt.Println(relativize(cwd, d))
-			bad++
+		var fresh []jsonFinding
+		for _, f := range findings {
+			if known[f.baselineKey()] {
+				suppressed++
+				continue
+			}
+			fresh = append(fresh, f)
+		}
+		findings = fresh
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report(selected, findings, suppressed)); err != nil {
+			fmt.Fprintln(stderr, "denova-vet:", err)
+			return exitLoad
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Check, f.Message)
 		}
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "denova-vet: %d diagnostic(s)\n", bad)
-		os.Exit(1)
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "denova-vet: %d new finding(s)", len(findings))
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, " (%d baseline-suppressed)", suppressed)
+		}
+		fmt.Fprintln(stderr)
+		return exitFindings
 	}
+	return exitClean
 }
 
-func selectChecks(names string) ([]*analysis.Check, error) {
-	if names == "" {
-		return nil, nil // all
+func report(checks []*analysis.Check, findings []jsonFinding, suppressed int) jsonReport {
+	names := make([]string, len(checks))
+	for i, c := range checks {
+		names[i] = c.Name
+	}
+	if findings == nil {
+		findings = []jsonFinding{}
+	}
+	return jsonReport{Version: 2, Checks: names, Findings: findings, BaselineSuppressed: suppressed}
+}
+
+func toFindings(cwd string, diags []analysis.Diagnostic) []jsonFinding {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonFinding{File: file, Line: d.Pos.Line, Col: d.Pos.Column, Check: d.Check, Message: d.Message})
+	}
+	return out
+}
+
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	known := make(map[string]bool, len(rep.Findings))
+	for _, f := range rep.Findings {
+		known[f.baselineKey()] = true
+	}
+	return known, nil
+}
+
+func writeJSON(path string, rep jsonReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// selectChecks combines the -check subset with the per-analyzer bool flags.
+func selectChecks(names string, enabled map[string]*bool) ([]*analysis.Check, error) {
+	if names != "" {
+		var out []*analysis.Check
+		for _, name := range strings.Split(names, ",") {
+			name = strings.TrimSpace(name)
+			c := analysis.ByName(name)
+			if c == nil {
+				return nil, fmt.Errorf("unknown check %q (try -list)", name)
+			}
+			out = append(out, c)
+		}
+		return out, nil
 	}
 	var out []*analysis.Check
-	for _, name := range strings.Split(names, ",") {
-		name = strings.TrimSpace(name)
-		found := false
-		for _, c := range analysis.All {
-			if c.Name == name {
-				out = append(out, c)
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("unknown check %q (try -list)", name)
+	for _, c := range analysis.All {
+		if *enabled[c.Name] {
+			out = append(out, c)
 		}
 	}
 	return out, nil
-}
-
-func relativize(cwd string, d analysis.Diagnostic) string {
-	if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		d.Pos.Filename = rel
-	}
-	return d.String()
 }
 
 // vetConfig is the subset of the `go vet` unit-checker config we consume.
@@ -153,11 +298,11 @@ func runVetCfg(path string) int {
 		// Outside the module (stdlib units etc.): nothing for us to check.
 		return 0
 	}
-	pkg, err := loader.LoadDir(dir)
+	prog, err := loader.LoadProgram([]string{dir})
 	if err != nil {
 		fatal(err)
 	}
-	diags := analysis.RunPackage(pkg, nil)
+	diags := analysis.RunProgram(prog, nil)
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture corpus doubles as a known-dirty tree for CLI tests.
+const fixturesDir = "../../internal/analysis/testdata/fixtures"
+
+// runVet invokes the CLI entry point and captures both streams.
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestListEnumeratesAllChecks(t *testing.T) {
+	code, out, _ := runVet(t, "-list")
+	if code != exitClean {
+		t.Fatalf("-list exit = %d, want %d", code, exitClean)
+	}
+	for _, name := range []string{"persistcheck", "atomcheck", "fencecheck", "lockcheck", "atomfieldcheck"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"unknown check", []string{"-check", "bogus", fixturesDir}},
+		{"all analyzers disabled", []string{
+			"-persistcheck=false", "-atomcheck=false", "-fencecheck=false",
+			"-lockcheck=false", "-atomfieldcheck=false", fixturesDir}},
+		{"unreadable baseline", []string{"-baseline", "no/such/baseline.json", fixturesDir}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code, _, _ := runVet(t, tc.args...); code != exitUsage {
+				t.Errorf("exit = %d, want %d", code, exitUsage)
+			}
+		})
+	}
+}
+
+func TestLoadFailureExitCode(t *testing.T) {
+	code, _, stderr := runVet(t, "./no-such-dir")
+	if code != exitLoad {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, exitLoad, stderr)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, out, stderr := runVet(t, "../../internal/layout")
+	if code != exitClean {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, exitClean, out, stderr)
+	}
+}
+
+func TestFixturesTextOutput(t *testing.T) {
+	code, out, stderr := runVet(t, fixturesDir)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, exitFindings, stderr)
+	}
+	lineRe := regexp.MustCompile(`^\S+\.go:\d+:\d+: \[\w+\] .+$`)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("expected several findings from the fixture corpus, got %d:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if !lineRe.MatchString(l) {
+			t.Errorf("finding line %q does not match file:line:col: [check] message", l)
+		}
+	}
+	if !strings.Contains(stderr, "new finding(s)") {
+		t.Errorf("stderr summary missing: %q", stderr)
+	}
+}
+
+func TestJSONSchema(t *testing.T) {
+	code, out, _ := runVet(t, "-json", fixturesDir)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d", code, exitFindings)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if rep.Version != 2 {
+		t.Errorf("version = %d, want 2", rep.Version)
+	}
+	if len(rep.Checks) != 5 {
+		t.Errorf("checks = %v, want all five analyzers", rep.Checks)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings over the fixture corpus")
+	}
+	seen := map[string]bool{}
+	for _, f := range rep.Findings {
+		if f.File == "" || f.Line <= 0 || f.Check == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		seen[f.Check] = true
+	}
+	for _, want := range []string{"persistcheck", "atomcheck", "fencecheck", "lockcheck", "atomfieldcheck"} {
+		if !seen[want] {
+			t.Errorf("fixture corpus produced no %s finding; got %v", want, seen)
+		}
+	}
+}
+
+func TestCheckSubsetFlag(t *testing.T) {
+	code, out, _ := runVet(t, "-json", "-check", "lockcheck", fixturesDir)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d", code, exitFindings)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(rep.Checks) != 1 || rep.Checks[0] != "lockcheck" {
+		t.Errorf("checks = %v, want [lockcheck]", rep.Checks)
+	}
+	for _, f := range rep.Findings {
+		if f.Check != "lockcheck" {
+			t.Errorf("-check lockcheck produced a %s finding: %+v", f.Check, f)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, _, stderr := runVet(t, "-write-baseline", base, fixturesDir)
+	if code != exitClean {
+		t.Fatalf("-write-baseline exit = %d, want %d (stderr: %s)", code, exitClean, stderr)
+	}
+
+	// Every recorded finding must now be suppressed.
+	code, out, _ := runVet(t, "-json", "-baseline", base, fixturesDir)
+	if code != exitClean {
+		t.Fatalf("baselined run exit = %d, want %d\n%s", code, exitClean, out)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("findings after baselining = %d, want 0: %+v", len(rep.Findings), rep.Findings)
+	}
+	if rep.BaselineSuppressed == 0 {
+		t.Error("baseline_suppressed = 0, want > 0")
+	}
+
+	// A finding absent from the baseline still fails: restrict the baseline
+	// to one check, then run all of them.
+	code, _, _ = runVet(t, "-check", "atomcheck", "-write-baseline", base, fixturesDir)
+	if code != exitClean {
+		t.Fatalf("restricted -write-baseline exit = %d", code)
+	}
+	code, _, stderr = runVet(t, "-baseline", base, fixturesDir)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d: non-baselined findings must still fail (stderr: %s)", code, exitFindings, stderr)
+	}
+	if !strings.Contains(stderr, "baseline-suppressed") {
+		t.Errorf("stderr should note baseline suppressions: %q", stderr)
+	}
+}

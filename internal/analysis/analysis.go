@@ -1,35 +1,50 @@
-// Package analysis implements DeNOVA's persistence-ordering static checks.
+// Package analysis implements DeNOVA's correctness static checks: the
+// persistence-ordering passes, a lock-hierarchy analyzer, and a field-level
+// atomic-access analyzer. All passes are stdlib-only (go/parser + go/types;
+// the build image carries no golang.org/x/tools).
 //
-// Every correctness argument in the paper reduces to "which 64 B lines are
-// durable at the crash point", so the write paths must follow a strict
-// store→flush→fence discipline on the pmem.Device. These passes verify that
-// discipline at build time, complementing the runtime pmem.ShadowTracker:
+// Every crash-consistency argument in the paper reduces to "which 64 B lines
+// are durable at the crash point", so the write paths must follow a strict
+// store→flush→fence discipline on the pmem.Device. Since the dedup daemon,
+// recovery, and the write path went multi-worker, those commit boundaries
+// are crossed under a real lock hierarchy, and the checks verify both
+// disciplines at build time, complementing the runtime pmem.ShadowTracker:
 //
-//	persistcheck  a function that performs cached device stores (Write,
-//	              Store64, CAS64, Add64) must also flush them (Flush,
-//	              Persist, PersistStore64) before returning — and the last
-//	              store must not follow the last flush.
-//	atomcheck     a hand-rolled Store64+Persist/Flush of the same 8-byte
-//	              word should be the atomic PersistStore64 (torn-commit
-//	              hazard if the pair ever diverges).
-//	fencecheck    a Fence with no preceding flush orders nothing; two
-//	              identical flushes with no intervening store waste a
-//	              media write.
+//	persistcheck   a function that performs cached device stores (Write,
+//	               Store64, CAS64, Add64) must flush them before returning —
+//	               in the function itself, in a callee, or on every caller
+//	               path (the v2 pass is interprocedural over the module
+//	               call graph; see program.go).
+//	atomcheck      a hand-rolled Store64+Persist/Flush of the same 8-byte
+//	               word should be the atomic PersistStore64 (torn-commit
+//	               hazard if the pair ever diverges).
+//	fencecheck     a Fence with no preceding flush-class work — local or in
+//	               a callee — orders nothing; two identical flushes with no
+//	               intervening store waste a media write.
+//	lockcheck      mutexes annotated with //denova:locks(<level>) must be
+//	               acquired in the declared //denova:lockorder, never twice
+//	               on one path, and never held across a crash-injection
+//	               (persist) point without a deferred unlock.
+//	atomfieldcheck a struct field accessed through sync/atomic anywhere in
+//	               the module must be accessed atomically everywhere (mixed
+//	               atomic/plain access is a data race).
 //
-// False positives are suppressed with a line or function comment directive:
+// False positives are suppressed with a per-family comment directive:
 //
-//	//denova:persist-ok <reason>
+//	//denova:persist-ok <reason>   persistcheck, atomcheck, fencecheck
+//	//denova:locks-ok <reason>     lockcheck
+//	//denova:atomic-ok <reason>    atomfieldcheck
 //
-// On the line of (or the line above) a diagnostic it suppresses that line;
-// in a function's doc comment it suppresses the whole function. The reason
-// text is required by convention: the directive documents WHY the callers,
-// not this function, persist the stored lines.
+// On the line of (or the line above) a diagnostic a directive suppresses
+// that line; in a function's doc comment it suppresses the whole function.
+// The reason text is required by convention: the directive documents WHY
+// the flagged pattern is safe.
 //
-// The passes are AST+types based (standard library only — the build image
-// carries no golang.org/x/tools) and deliberately flow-insensitive: they
-// compare source positions, not CFG paths. That is exact for the
-// straight-line store/flush sequences the persistence paths use, and the
-// directive handles the rest.
+// The passes are deliberately flow-insensitive: they compare source
+// positions (with statement-tree handling of early-exit branches in
+// lockcheck), not CFG paths. That is exact for the straight-line
+// store/flush sequences and lock scopes the runtime uses, and the
+// directives handle the rest.
 package analysis
 
 import (
@@ -41,8 +56,15 @@ import (
 	"strings"
 )
 
-// Directive is the suppression comment prefix honored by all checks.
-const Directive = "//denova:persist-ok"
+// Suppression and annotation directives. DirectivePersistOK keeps the
+// historical name Directive because diagnostics embed it in their hint text.
+const (
+	Directive          = "//denova:persist-ok" // persistcheck/atomcheck/fencecheck
+	DirectiveLocksOK   = "//denova:locks-ok"   // lockcheck suppression
+	DirectiveAtomicOK  = "//denova:atomic-ok"  // atomfieldcheck suppression
+	DirectiveLockLevel = "//denova:locks("     // lock level annotation (field or accessor)
+	DirectiveLockOrder = "//denova:lockorder"  // global lock order declaration
+)
 
 // Diagnostic is one finding.
 type Diagnostic struct {
@@ -55,34 +77,58 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
 }
 
-// Check is a single analysis pass.
+// Check is a single analysis pass over a loaded Program.
 type Check struct {
-	Name string
-	Doc  string
-	Run  func(pkg *Package, report func(pos token.Pos, format string, args ...any))
+	Name      string
+	Doc       string
+	Directive string // suppression directive honored by this check
+	Run       func(prog *Program, report func(pos token.Pos, format string, args ...any))
 }
 
 // All lists every check, in the order they run.
-var All = []*Check{Persistcheck, Atomcheck, Fencecheck}
+var All = []*Check{Persistcheck, Atomcheck, Fencecheck, Lockcheck, Atomfieldcheck}
 
-// RunPackage executes the given checks (nil = All) on a loaded package and
-// returns the surviving diagnostics sorted by position, with directive
-// suppression applied.
-func RunPackage(pkg *Package, checks []*Check) []Diagnostic {
+// ByName resolves a check by name.
+func ByName(name string) *Check {
+	for _, c := range All {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// RunProgram executes the given checks (nil = All) on a program and returns
+// the surviving diagnostics for the program's target packages, sorted by
+// position, with directive suppression applied. Summaries are computed over
+// every loaded package (so a store flushed by a cross-package callee is
+// seen), but diagnostics are only emitted for positions inside Targets.
+func RunProgram(prog *Program, checks []*Check) []Diagnostic {
 	if checks == nil {
 		checks = All
 	}
-	sup := collectSuppressions(pkg)
+	sups := make(map[string]*suppressions)
+	inTarget := make(map[string]bool)
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			inTarget[prog.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
 	var diags []Diagnostic
 	for _, c := range checks {
+		sup, ok := sups[c.Directive]
+		if !ok {
+			sup = collectSuppressions(prog.Targets, c.Directive)
+			sups[c.Directive] = sup
+		}
 		report := func(pos token.Pos, format string, args ...any) {
-			p := pkg.Fset.Position(pos)
-			if sup.suppressed(p) {
+			p := prog.Fset.Position(pos)
+			if !inTarget[p.Filename] || sup.suppressed(p) {
 				return
 			}
 			diags = append(diags, Diagnostic{Pos: p, Check: c.Name, Message: fmt.Sprintf(format, args...)})
 		}
-		c.Run(pkg, report)
+		c.Run(prog, report)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -92,12 +138,24 @@ func RunPackage(pkg *Package, checks []*Check) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return diags[i].Check < diags[j].Check
+		if diags[i].Check != diags[j].Check {
+			return diags[i].Check < diags[j].Check
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return diags
+	// Dedup identical findings (a function literal scanned both inline and
+	// standalone can double-report the same position).
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
-// suppressions records which source lines and line ranges the directive
+// suppressions records which source lines and line ranges a directive
 // covers.
 type suppressions struct {
 	lines map[string]map[int]bool // filename -> suppressed lines
@@ -116,12 +174,14 @@ func (s *suppressions) suppressed(p token.Position) bool {
 	return false
 }
 
-func isDirective(c *ast.Comment) bool {
-	return strings.HasPrefix(c.Text, Directive) &&
-		(len(c.Text) == len(Directive) || c.Text[len(Directive)] == ' ')
+// isDirective reports whether the comment is exactly the given directive
+// (followed by nothing or a reason separated by a space).
+func isDirective(c *ast.Comment, directive string) bool {
+	return strings.HasPrefix(c.Text, directive) &&
+		(len(c.Text) == len(directive) || c.Text[len(directive)] == ' ')
 }
 
-func collectSuppressions(pkg *Package) *suppressions {
+func collectSuppressions(pkgs []*Package, directive string) *suppressions {
 	s := &suppressions{
 		lines: make(map[string]map[int]bool),
 		spans: make(map[string][][2]int),
@@ -134,31 +194,33 @@ func collectSuppressions(pkg *Package) *suppressions {
 		}
 		m[line] = true
 	}
-	for _, f := range pkg.Files {
-		// A directive comment suppresses its own line and the next one
-		// (comment-above-statement style).
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !isDirective(c) {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			// A directive comment suppresses its own line and the next one
+			// (comment-above-statement style).
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !isDirective(c, directive) {
+						continue
+					}
+					p := pkg.Fset.Position(c.Pos())
+					mark(p, p.Line)
+					mark(p, p.Line+1)
+				}
+			}
+			// A directive in a function's doc comment suppresses the function.
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
 					continue
 				}
-				p := pkg.Fset.Position(c.Pos())
-				mark(p, p.Line)
-				mark(p, p.Line+1)
-			}
-		}
-		// A directive in a function's doc comment suppresses the function.
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
-				continue
-			}
-			for _, c := range fd.Doc.List {
-				if isDirective(c) {
-					start := pkg.Fset.Position(fd.Pos())
-					end := pkg.Fset.Position(fd.End())
-					s.spans[start.Filename] = append(s.spans[start.Filename], [2]int{start.Line, end.Line})
-					break
+				for _, c := range fd.Doc.List {
+					if isDirective(c, directive) {
+						start := pkg.Fset.Position(fd.Pos())
+						end := pkg.Fset.Position(fd.End())
+						s.spans[start.Filename] = append(s.spans[start.Filename], [2]int{start.Line, end.Line})
+						break
+					}
 				}
 			}
 		}
@@ -175,6 +237,10 @@ const devicePkgPath = "denova/internal/pmem"
 var (
 	storeMethods = map[string]bool{"Write": true, "Store64": true, "CAS64": true, "Add64": true}
 	flushMethods = map[string]bool{"Flush": true, "Persist": true, "PersistStore64": true, "WriteNT": true}
+	// persistPointMethods are the calls at which an armed crash injection
+	// can fire (each flushed/streamed line is a persist point). A goroutine
+	// unwinding from one of these must not leak locks.
+	persistPointMethods = map[string]bool{"Flush": true, "Persist": true, "PersistStore64": true, "WriteNT": true}
 )
 
 // deviceCall resolves a call expression to a pmem.Device method name via the
@@ -202,6 +268,39 @@ func deviceCall(info *types.Info, call *ast.CallExpr) (name string, ok bool) {
 		return "", false
 	}
 	return sel.Sel.Name, true
+}
+
+// staticCallee resolves a call to the *types.Func it statically invokes:
+// a plain function, a method on a concrete type, or nil for anything
+// dynamic (function values, interface methods, conversions, builtins).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[f.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if types.IsInterface(sig.Recv().Type()) {
+				return nil
+			}
+		}
+		return fn
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
 }
 
 // funcScope is one function or function-literal body to analyze.

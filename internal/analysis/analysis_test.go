@@ -6,18 +6,19 @@ import (
 	"testing"
 )
 
-// loadFixtures type-checks the testdata fixture package once per test run.
-func loadFixtures(t *testing.T) *Package {
+// loadFixtureProgram type-checks the testdata fixture package (plus its
+// module-internal imports) into a Program targeting only the fixtures.
+func loadFixtureProgram(t *testing.T) *Program {
 	t.Helper()
 	l, err := NewLoader(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := l.LoadDir(filepath.Join("testdata", "fixtures"))
+	prog, err := l.LoadProgram([]string{filepath.Join("testdata", "fixtures")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return pkg
+	return prog
 }
 
 // diagsByFile buckets diagnostics by fixture basename.
@@ -29,22 +30,32 @@ func diagsByFile(diags []Diagnostic) map[string][]Diagnostic {
 	return m
 }
 
-// TestFixturesTriggerExactlyOneDiagnostic is the acceptance contract: each
-// known-bad fixture trips exactly one diagnostic of the expected check, and
-// the directive fixtures trip none.
+// fixtureWant is the acceptance contract: each known-bad fixture trips
+// exactly one diagnostic of the named check; every other fixture file is
+// clean.
+var fixtureWant = map[string]string{
+	"persistbad.go":          "persistcheck",
+	"persistbad_trailing.go": "persistcheck",
+	"interbad.go":            "persistcheck",
+	"atombad.go":             "atomcheck",
+	"fencebad.go":            "fencecheck",
+	"doubleflushbad.go":      "fencecheck",
+	"lockinvbad.go":          "lockcheck",
+	"lockdoublebad.go":       "lockcheck",
+	"lockcrashbad.go":        "lockcheck",
+	"atomfieldbad.go":        "atomfieldcheck",
+}
+
+var fixtureClean = []string{
+	"suppressed.go", "intergood.go", "locklevels.go", "atomfieldgood.go",
+}
+
 func TestFixturesTriggerExactlyOneDiagnostic(t *testing.T) {
 	t.Parallel()
-	pkg := loadFixtures(t)
-	byFile := diagsByFile(RunPackage(pkg, nil))
+	prog := loadFixtureProgram(t)
+	byFile := diagsByFile(RunProgram(prog, nil))
 
-	want := map[string]string{
-		"persistbad.go":          "persistcheck",
-		"persistbad_trailing.go": "persistcheck",
-		"atombad.go":             "atomcheck",
-		"fencebad.go":            "fencecheck",
-		"doubleflushbad.go":      "fencecheck",
-	}
-	for file, check := range want {
+	for file, check := range fixtureWant {
 		got := byFile[file]
 		if len(got) != 1 {
 			t.Errorf("%s: got %d diagnostics %v, want exactly 1", file, len(got), got)
@@ -54,34 +65,62 @@ func TestFixturesTriggerExactlyOneDiagnostic(t *testing.T) {
 			t.Errorf("%s: diagnostic from %s, want %s: %v", file, got[0].Check, check, got[0])
 		}
 	}
-	if got := byFile["suppressed.go"]; len(got) != 0 {
-		t.Errorf("suppressed.go: directive did not suppress: %v", got)
+	for _, file := range fixtureClean {
+		if got := byFile[file]; len(got) != 0 {
+			t.Errorf("%s: want clean, got: %v", file, got)
+		}
 	}
 	for file := range byFile {
-		if _, known := want[file]; !known && file != "suppressed.go" {
+		if _, known := fixtureWant[file]; !known {
 			t.Errorf("unexpected diagnostics in %s: %v", file, byFile[file])
 		}
 	}
 }
 
-// TestSuppressedWithoutDirectiveFires guards against the suppression logic
-// swallowing everything: the same patterns as suppressed.go, minus the
-// directives, must fire. We verify by checking the directive fixtures DO
-// contain flaggable patterns — running only persistcheck+atomcheck with
-// suppression disabled (by scanning raw reports) would need plumbing, so
-// instead assert the directive text is present and the file parses.
+// TestBadFixturesRequireTheirAnalyzer pins each bad fixture to its
+// analyzer: running only that analyzer still finds it (so the fixture
+// fails loudly if the analyzer is disabled or gutted), and running all
+// OTHER analyzers finds nothing in the file (the fixture exercises exactly
+// the pass it names).
+func TestBadFixturesRequireTheirAnalyzer(t *testing.T) {
+	t.Parallel()
+	prog := loadFixtureProgram(t)
+	for file, check := range fixtureWant {
+		c := ByName(check)
+		if c == nil {
+			t.Fatalf("unknown check %q", check)
+		}
+		only := diagsByFile(RunProgram(prog, []*Check{c}))
+		if got := only[file]; len(got) != 1 {
+			t.Errorf("%s: %s alone found %d diagnostics %v, want 1", file, check, len(got), got)
+		}
+		var others []*Check
+		for _, o := range All {
+			if o.Name != check {
+				others = append(others, o)
+			}
+		}
+		rest := diagsByFile(RunProgram(prog, others))
+		if got := rest[file]; len(got) != 0 {
+			t.Errorf("%s: with %s disabled, unexpected diagnostics remain: %v", file, check, got)
+		}
+	}
+}
+
 func TestDirectiveSpelling(t *testing.T) {
 	t.Parallel()
-	if !strings.HasPrefix(Directive, "//denova:") {
-		t.Fatalf("directive %q must use the //denova: namespace", Directive)
+	for _, d := range []string{Directive, DirectiveLocksOK, DirectiveAtomicOK, DirectiveLockLevel, DirectiveLockOrder} {
+		if !strings.HasPrefix(d, "//denova:") {
+			t.Fatalf("directive %q must use the //denova: namespace", d)
+		}
 	}
 }
 
 // TestRepoIsClean runs all passes over every first-party package and
-// requires zero diagnostics: the tree must stay persistcheck-clean (real
-// findings get fixed, intentional patterns get the directive). This is the
-// same sweep cmd/denova-vet performs in CI, kept here so `go test` alone
-// catches regressions.
+// requires zero diagnostics: the tree must stay vet-clean (real findings
+// get fixed, intentional patterns get a justified directive). This is the
+// same sweep cmd/denova-vet performs in CI with an empty baseline, kept
+// here so `go test` alone catches regressions.
 func TestRepoIsClean(t *testing.T) {
 	t.Parallel()
 	l, err := NewLoader(".")
@@ -92,13 +131,11 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, dir := range dirs {
-		pkg, err := l.LoadDir(dir)
-		if err != nil {
-			t.Fatalf("%s: %v", dir, err)
-		}
-		for _, d := range RunPackage(pkg, nil) {
-			t.Errorf("%s", d)
-		}
+	prog, err := l.LoadProgram(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunProgram(prog, nil) {
+		t.Errorf("%s", d)
 	}
 }

@@ -14,21 +14,24 @@ import (
 // refactor — an early return, a new store slipped between them — reopens
 // the torn-commit window this check exists to close.
 var Atomcheck = &Check{
-	Name: "atomcheck",
-	Doc:  "flag Store64+Flush/Persist pairs on one 8-byte word that should be PersistStore64",
-	Run:  runAtomcheck,
+	Name:      "atomcheck",
+	Doc:       "flag Store64+Flush/Persist pairs on one 8-byte word that should be PersistStore64",
+	Directive: Directive,
+	Run:       runAtomcheck,
 }
 
-func runAtomcheck(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
-	for _, fn := range functionsOf(pkg) {
-		inspectShallow(fn.body, func(n ast.Node) bool {
-			block, ok := n.(*ast.BlockStmt)
-			if !ok {
+func runAtomcheck(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	for _, pkg := range prog.Targets {
+		for _, fn := range functionsOf(pkg) {
+			inspectShallow(fn.body, func(n ast.Node) bool {
+				block, ok := n.(*ast.BlockStmt)
+				if !ok {
+					return true
+				}
+				checkBlockAtom(pkg, block, report)
 				return true
-			}
-			checkBlockAtom(pkg, block, report)
-			return true
-		})
+			})
+		}
 	}
 }
 

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomfieldcheck enforces field-level atomic discipline: a struct field
+// whose address is ever passed to a sync/atomic function anywhere in the
+// module must be accessed through sync/atomic everywhere. A plain read
+// races with concurrent atomic writers (the race detector only catches the
+// interleavings the tests happen to produce), and a plain write can be
+// lost entirely under a concurrent atomic RMW. The obs registry counters,
+// the DWQ doorbell/statistics words, and the pmem shadow-tracker tallies
+// are the motivating surfaces: all are hot enough that "it's just a stats
+// field" plain access is tempting and wrong.
+//
+// The check is program-wide in its first pass (which fields are atomic —
+// a field atomically accessed only in another package still taints this
+// one) and per-target in its second (which accesses are plain). Fields of
+// type atomic.Int64 etc. need no checking; this covers the classic
+// `uint64` + atomic.AddUint64(&s.f, 1) idiom the codebase uses.
+//
+// Only accesses that can alias the atomically-updated memory are reported:
+// the base chain must pass through a pointer, a slice element, or a
+// package-level variable. A plain read of a local *value copy* (the
+// snapshot structs Stats()/Snapshot() return) cannot race — the racy copy
+// was made inside the accessor, and that is where the diagnostic lands.
+var Atomfieldcheck = &Check{
+	Name:      "atomfieldcheck",
+	Doc:       "flag plain accesses to struct fields that are accessed via sync/atomic elsewhere",
+	Directive: DirectiveAtomicOK,
+	Run:       runAtomfieldcheck,
+}
+
+func runAtomfieldcheck(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	// Pass 1 (whole program): collect fields whose address feeds sync/atomic,
+	// and remember the &x.f argument subtrees so pass 2 can skip them.
+	atomicFields := map[*types.Var]token.Pos{}
+	atomicArgs := map[ast.Expr]bool{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, a := range call.Args {
+					u, ok := unparen(a).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					if v := fieldVarOf(pkg.Info, u.X); v != nil {
+						if _, seen := atomicFields[v]; !seen {
+							atomicFields[v] = u.Pos()
+						}
+						atomicArgs[a] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2 (targets): any other selection of those fields is a plain
+	// access. Composite-literal keys are bare idents (not selections), so
+	// struct construction does not trip the check.
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok && atomicArgs[e] {
+					return false // inside an atomic access
+				}
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := pkg.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				if apos, atomic := atomicFields[v]; atomic && sharedBase(pkg.Info, sel.X) {
+					report(sel.Sel.Pos(),
+						"field %s.%s is accessed with sync/atomic (e.g. at %s) but plainly here; mixed access is a data race — use the atomic helpers or annotate with %s",
+						fieldOwner(v), v.Name(), prog.Fset.Position(apos), DirectiveAtomicOK)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldOwner names the struct type a field belongs to, best-effort.
+func fieldOwner(v *types.Var) string {
+	if v.Pkg() == nil {
+		return "?"
+	}
+	// Walk the package scope for a named struct containing this exact field.
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn.Name()
+			}
+		}
+	}
+	return v.Pkg().Name()
+}
+
+// isAtomicCall reports whether the call targets a function in sync/atomic
+// (atomic.AddUint64, atomic.LoadInt64, …). Methods on atomic.Int64-style
+// types are inherently safe and not relevant here.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// sharedBase reports whether the selector base expression can alias
+// memory another goroutine updates atomically: it passes through a pointer
+// (explicit or implicit deref), a slice element (shared backing array), or
+// a package-level variable. A chain rooted in a local value variable or a
+// call result is a private copy and cannot race.
+func sharedBase(info *types.Info, e ast.Expr) bool {
+	for {
+		e = unparen(e)
+		if tv, ok := info.Types[e]; ok {
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				return true
+			}
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return true // qualified package-level variable
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+					return true // slice elements share the backing array
+				}
+			}
+			e = x.X
+		case *ast.StarExpr, *ast.UnaryExpr:
+			return true
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+				return v.Parent() == v.Pkg().Scope()
+			}
+			return true
+		case *ast.CallExpr:
+			return false // function results are fresh copies
+		default:
+			return true // unknown shapes: stay conservative
+		}
+	}
+}
+
+// fieldVarOf resolves &EXPR's operand to the struct field it denotes,
+// unwrapping index expressions so &s.counts[i] taints the counts field.
+func fieldVarOf(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if s := info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+				if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+					return v
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

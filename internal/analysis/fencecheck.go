@@ -9,62 +9,60 @@ import (
 
 // Fencecheck flags two flush-ordering smells:
 //
-//  1. fence-without-flush: a Fence() with no flush-class call (Flush,
-//     Persist, PersistStore64, WriteNT) anywhere before it in the function.
-//     A fence orders prior flushes; with none, it only burns its overhead.
+//  1. fence-without-flush: a Fence() with no flush-class work (Flush,
+//     Persist, PersistStore64, WriteNT — direct or in a callee invoked
+//     earlier) anywhere before it in the function. A fence orders prior
+//     flushes; with none, it only burns its overhead.
 //  2. double-flush: two Flush/Persist calls with identical arguments in the
 //     same statement block with no device store between them — the second
 //     flushes lines that are already durable, a pure media-latency waste
 //     (the runtime ShadowTracker counts these as RedundantFlushLines).
 var Fencecheck = &Check{
-	Name: "fencecheck",
-	Doc:  "flag Fence with no preceding flush, and back-to-back flushes of untouched lines",
-	Run:  runFencecheck,
+	Name:      "fencecheck",
+	Doc:       "flag Fence with no preceding flush (callee-aware), and back-to-back flushes of untouched lines",
+	Directive: Directive,
+	Run:       runFencecheck,
 }
 
-func runFencecheck(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
-	for _, fn := range functionsOf(pkg) {
-		checkFenceWithoutFlush(pkg, fn, report)
-		inspectShallow(fn.body, func(n ast.Node) bool {
-			if block, ok := n.(*ast.BlockStmt); ok {
-				checkDoubleFlush(pkg, block, report)
-			}
-			return true
-		})
+func runFencecheck(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	for _, pkg := range prog.Targets {
+		for _, fn := range prog.funcsOf(pkg) {
+			checkFenceWithoutFlush(fn, report)
+		}
+		for _, fn := range functionsOf(pkg) {
+			inspectShallow(fn.body, func(n ast.Node) bool {
+				if block, ok := n.(*ast.BlockStmt); ok {
+					checkDoubleFlush(pkg, block, report)
+				}
+				return true
+			})
+		}
 	}
 }
 
-func checkFenceWithoutFlush(pkg *Package, fn funcScope, report func(pos token.Pos, format string, args ...any)) {
-	firstFlush := token.Pos(-1)
-	var fences []token.Pos
-	inspectShallow(fn.body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		name, ok := deviceCall(pkg.Info, call)
-		if !ok {
-			return true
-		}
-		switch {
-		case name == "Fence":
-			fences = append(fences, call.Pos())
-		case flushMethods[name]:
-			if firstFlush < 0 || call.Pos() < firstFlush {
-				firstFlush = call.Pos()
+// checkFenceWithoutFlush replays the event stream in execution order; a
+// call to a callee whose summary says it flushes counts as flush-class
+// work, so `writeInode(...); dev.Fence()` is clean without a directive.
+func checkFenceWithoutFlush(fn *FuncNode, report func(pos token.Pos, format string, args ...any)) {
+	flushed := false
+	for _, ev := range fn.ordered() {
+		switch ev.kind {
+		case evFlush, evWriteNT:
+			flushed = true
+		case evCall:
+			if ev.callee.flushes {
+				flushed = true
 			}
-		}
-		return true
-	})
-	for _, p := range fences {
-		if firstFlush < 0 || p < firstFlush {
-			report(p, "%s: Fence with no preceding Flush/Persist in this function orders nothing", fn.name)
+		case evFence:
+			if !flushed {
+				report(ev.pos, "%s: Fence with no preceding Flush/Persist in this function or its callees orders nothing", fn.Name)
+			}
 		}
 	}
 }
 
 func checkDoubleFlush(pkg *Package, block *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
-	lastFlush := "" // rendered "name(args)" of the previous uninvalidated flush
+	lastFlush := "" // rendered "name|args" of the previous uninvalidated flush
 	for _, stmt := range block.List {
 		call, name := flushStmt(pkg.Info, stmt)
 		if call == nil {

@@ -178,6 +178,32 @@ func goFilesIn(dir string) ([]string, error) {
 	return names, nil
 }
 
+// Loaded returns every package the loader has parsed from source (targets
+// plus their module-internal transitive imports), sorted by import path.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// LoadProgram loads each directory as a target package and returns a
+// Program spanning the targets plus every module-internal package they
+// pull in, so interprocedural summaries see cross-package callees.
+func (l *Loader) LoadProgram(dirs []string) (*Program, error) {
+	var targets []*Package
+	for _, d := range dirs {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, pkg)
+	}
+	return NewProgram(l.Fset, l.Loaded(), targets), nil
+}
+
 // ExpandPatterns resolves go-style package patterns ("./...", "dir",
 // "dir/...") relative to base into package directories. Directories named
 // testdata or vendor, and hidden/underscore directories, are skipped inside

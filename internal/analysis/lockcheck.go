@@ -1,0 +1,803 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lockcheck verifies the module's declared lock hierarchy.
+//
+// Mutex fields (sync.Mutex, sync.RWMutex, or arrays of them for striped
+// locks) are annotated with a level name:
+//
+//	mu sync.RWMutex //denova:locks(nova.inode)
+//
+// Functions that hand out a lock (accessors like FACT's lockFor, or
+// Lock/Unlock wrapper methods) carry the same annotation in their doc
+// comment. One global order declaration ranks the levels:
+//
+//	//denova:lockorder a < b < c
+//
+// Lockcheck then walks each function's statement tree with a held-lock set
+// and reports:
+//
+//   - out-of-order acquisition: taking a level ranked below one already
+//     held (the classic ABBA inversion seed);
+//   - double-acquire: re-acquiring the same lock instance (same level and
+//     receiver expression) already held on the path — sync.Mutex
+//     self-deadlocks, and a second RLock deadlocks against a waiting
+//     writer; two *different* instances of one level (parent→child inode
+//     during Rmdir) are allowed;
+//   - lock held across a crash-injection point: reaching a persist-point
+//     device call (Flush/Persist/PersistStore64/WriteNT, directly or via a
+//     callee) while holding a lock whose release is not deferred — if the
+//     injected panic unwinds, the lock leaks and the next acquirer hangs.
+//
+// Unannotated mutexes are ignored; levels absent from the order
+// declaration are tracked for double-acquire and crash-point discipline
+// but not ranked. Branches that end in a terminating statement (return,
+// break, continue, panic) discard their lock effects, which models the
+// usual `if err != nil { mu.Unlock(); return err }` early exits.
+var Lockcheck = &Check{
+	Name:      "lockcheck",
+	Doc:       "verify declared lock order, no double-acquire, no bare lock held across a crash point",
+	Directive: DirectiveLocksOK,
+	Run:       runLockcheck,
+}
+
+// lockConfig is the program-wide annotation state.
+type lockConfig struct {
+	fields    map[*types.Var]string  // annotated mutex fields/vars -> level
+	accessors map[*types.Func]string // annotated funcs -> level they hand out
+	rank      map[string]int         // level -> position in the declared order
+	order     []string               // declared order, low to high
+	problems  []configProblem
+}
+
+type configProblem struct {
+	pos token.Pos
+	msg string
+}
+
+func runLockcheck(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	cfg := prog.lockConfig()
+	for _, pr := range cfg.problems {
+		report(pr.pos, "%s", pr.msg)
+	}
+	for _, pkg := range prog.Targets {
+		for _, fn := range prog.funcsOf(pkg) {
+			if fn.inlined {
+				continue // scanned inline at its invocation site
+			}
+			ls := &lockScanner{prog: prog, cfg: cfg, pkg: fn.Pkg, fnName: fn.Name, report: report,
+				bindings: map[*types.Var]string{}, reported: map[string]bool{}}
+			ls.scanStmt(fn.body)
+		}
+	}
+}
+
+// lockConfig collects annotations lazily, once per Program.
+func (p *Program) lockConfig() *lockConfig {
+	if p.lockCf != nil {
+		return p.lockCf
+	}
+	cfg := &lockConfig{
+		fields:    map[*types.Var]string{},
+		accessors: map[*types.Func]string{},
+		rank:      map[string]int{},
+	}
+	var orderPos token.Pos
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, DirectiveLockOrder) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, DirectiveLockOrder))
+					levels, err := parseLockOrder(rest)
+					if err != nil {
+						cfg.problems = append(cfg.problems, configProblem{c.Pos(), err.Error()})
+						continue
+					}
+					if len(cfg.order) > 0 {
+						cfg.problems = append(cfg.problems, configProblem{c.Pos(),
+							fmt.Sprintf("duplicate %s declaration (first at %s); exactly one order is allowed",
+								DirectiveLockOrder, p.Fset.Position(orderPos))})
+						continue
+					}
+					cfg.order = levels
+					orderPos = c.Pos()
+					for i, lv := range levels {
+						cfg.rank[lv] = i
+					}
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch d := n.(type) {
+				case *ast.StructType:
+					if d.Fields == nil {
+						return true
+					}
+					for _, field := range d.Fields.List {
+						level := levelAnnotation(field.Doc, field.Comment)
+						if level == "" {
+							continue
+						}
+						for _, name := range field.Names {
+							if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+								cfg.fields[v] = level
+							}
+						}
+					}
+				case *ast.FuncDecl:
+					if level := levelAnnotation(d.Doc, nil); level != "" {
+						if fnObj, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+							cfg.accessors[fnObj] = level
+						}
+					}
+				case *ast.GenDecl:
+					// Annotated package-level mutex vars.
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						level := levelAnnotation(vs.Doc, vs.Comment)
+						if level == "" && len(d.Specs) == 1 {
+							level = levelAnnotation(d.Doc, nil)
+						}
+						if level == "" {
+							continue
+						}
+						for _, name := range vs.Names {
+							if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+								cfg.fields[v] = level
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	p.lockCf = cfg
+	return cfg
+}
+
+// levelAnnotation extracts the level name from a //denova:locks(<name>)
+// directive in either comment group.
+func levelAnnotation(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if !strings.HasPrefix(c.Text, DirectiveLockLevel) {
+				continue
+			}
+			rest := c.Text[len(DirectiveLockLevel):]
+			if i := strings.IndexByte(rest, ')'); i > 0 {
+				return strings.TrimSpace(rest[:i])
+			}
+		}
+	}
+	return ""
+}
+
+func parseLockOrder(s string) ([]string, error) {
+	parts := strings.Split(s, "<")
+	var out []string
+	seen := map[string]bool{}
+	for _, part := range parts {
+		lv := strings.TrimSpace(part)
+		if lv == "" {
+			return nil, fmt.Errorf("malformed %s declaration: empty level in %q", DirectiveLockOrder, s)
+		}
+		if seen[lv] {
+			return nil, fmt.Errorf("malformed %s declaration: level %q repeated", DirectiveLockOrder, lv)
+		}
+		seen[lv] = true
+		out = append(out, lv)
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("malformed %s declaration: want at least two levels separated by '<', got %q", DirectiveLockOrder, s)
+	}
+	return out, nil
+}
+
+// lockSummary is the per-function effect summary lockcheck uses at call
+// sites: which levels the callee may transiently acquire, and which it
+// acquires or releases on behalf of its caller (wrapper methods like
+// Inode.Lock / Inode.Unlock).
+type lockSummary struct {
+	mayAcquire map[string]bool
+	netAcquire []string
+	netRelease []string
+}
+
+// lockSummaryOf computes (and memoizes) fn's lock summary by scanning it
+// in summary mode. Recursion cycles get an empty summary.
+func (p *Program) lockSummaryOf(fn *FuncNode) *lockSummary {
+	if fn.lock != nil {
+		return fn.lock
+	}
+	if fn.lockBuilding {
+		return &lockSummary{mayAcquire: map[string]bool{}}
+	}
+	fn.lockBuilding = true
+	ls := &lockScanner{prog: p, cfg: p.lockConfig(), pkg: fn.Pkg, fnName: fn.Name,
+		bindings: map[*types.Var]string{}, reported: map[string]bool{},
+		acquired: map[string]bool{}, released: map[string]bool{}}
+	ls.scanStmt(fn.body)
+	sum := &lockSummary{mayAcquire: ls.acquired}
+	for _, h := range ls.held {
+		if !h.deferProtected {
+			sum.netAcquire = append(sum.netAcquire, h.level)
+		}
+	}
+	for lv := range ls.released {
+		sum.netRelease = append(sum.netRelease, lv)
+	}
+	fn.lock = sum
+	fn.lockBuilding = false
+	return sum
+}
+
+// heldLock is one acquired lock on the current path.
+type heldLock struct {
+	level          string
+	inst           string // rendered receiver expression, for instance identity
+	pos            token.Pos
+	deferProtected bool // a deferred unlock covers it
+}
+
+// lockScanner walks one function's statement tree maintaining the held set.
+// With report == nil it runs in summary mode (collect effects, no
+// diagnostics).
+type lockScanner struct {
+	prog   *Program
+	cfg    *lockConfig
+	pkg    *Package
+	fnName string
+	report func(pos token.Pos, format string, args ...any)
+
+	held     []heldLock
+	bindings map[*types.Var]string // local var -> level (from accessor calls)
+	reported map[string]bool       // dedup key -> reported
+
+	// summary-mode accumulators (nil in check mode)
+	acquired map[string]bool
+	released map[string]bool
+}
+
+func (ls *lockScanner) reportf(pos token.Pos, key, format string, args ...any) {
+	if ls.report == nil || ls.reported[key] {
+		return
+	}
+	ls.reported[key] = true
+	ls.report(pos, format, args...)
+}
+
+func (ls *lockScanner) acquire(level, inst string, pos token.Pos, via string) {
+	if ls.acquired != nil {
+		ls.acquired[level] = true
+	}
+	if r, ranked := ls.cfg.rank[level]; ranked {
+		for _, h := range ls.held {
+			hr, hRanked := ls.cfg.rank[h.level]
+			if hRanked && hr > r {
+				ls.reportf(pos, "order|"+level+"|"+h.level,
+					"%s: acquiring %s%s while holding %s (%s) violates the declared lock order %q — invert the acquisition or annotate with %s",
+					ls.fnName, level, via, h.level, h.inst, strings.Join(ls.cfg.order, " < "), DirectiveLocksOK)
+				break
+			}
+		}
+	}
+	for _, h := range ls.held {
+		if h.level == level && h.inst == inst && inst != "" {
+			ls.reportf(pos, "double|"+level+"|"+inst,
+				"%s: %s (%s) is already held on this path (acquired at %s); re-acquiring self-deadlocks — release first or annotate with %s",
+				ls.fnName, level, inst, ls.prog.Fset.Position(h.pos), DirectiveLocksOK)
+			break
+		}
+	}
+	ls.held = append(ls.held, heldLock{level: level, inst: inst, pos: pos})
+}
+
+func (ls *lockScanner) release(level, inst string) {
+	// Prefer the newest matching instance, then the newest matching level.
+	for i := len(ls.held) - 1; i >= 0; i-- {
+		if ls.held[i].level == level && ls.held[i].inst == inst {
+			ls.held = append(ls.held[:i], ls.held[i+1:]...)
+			return
+		}
+	}
+	for i := len(ls.held) - 1; i >= 0; i-- {
+		if ls.held[i].level == level {
+			ls.held = append(ls.held[:i], ls.held[i+1:]...)
+			return
+		}
+	}
+	if ls.released != nil {
+		ls.released[level] = true // releases a lock its caller holds
+	}
+}
+
+// deferProtect marks the newest held entry of the level as covered by a
+// deferred unlock.
+func (ls *lockScanner) deferProtect(level, inst string) {
+	for i := len(ls.held) - 1; i >= 0; i-- {
+		if ls.held[i].level == level && (inst == "" || ls.held[i].inst == inst) {
+			ls.held[i].deferProtected = true
+			return
+		}
+	}
+	for i := len(ls.held) - 1; i >= 0; i-- {
+		if ls.held[i].level == level {
+			ls.held[i].deferProtected = true
+			return
+		}
+	}
+}
+
+// crashPoint reports every bare (non-defer-protected) held lock at a
+// persist-point call.
+func (ls *lockScanner) crashPoint(pos token.Pos, what string) {
+	for _, h := range ls.held {
+		if h.deferProtected {
+			continue
+		}
+		ls.reportf(pos, fmt.Sprintf("crash|%s|%s|%d", h.level, h.inst, h.pos),
+			"%s: %s (%s, acquired at %s) is held across %s without a deferred unlock; a crash-injection panic here leaks the lock — defer the unlock or annotate with %s",
+			ls.fnName, h.level, h.inst, ls.prog.Fset.Position(h.pos), what, DirectiveLocksOK)
+	}
+}
+
+// --- statement walk ---
+
+func (ls *lockScanner) scanStmts(list []ast.Stmt) {
+	for _, s := range list {
+		ls.scanStmt(s)
+	}
+}
+
+func (ls *lockScanner) snapshot() []heldLock {
+	cp := make([]heldLock, len(ls.held))
+	copy(cp, ls.held)
+	return cp
+}
+
+func (ls *lockScanner) scanStmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		ls.scanStmts(s.List)
+	case *ast.ExprStmt:
+		ls.scanExpr(s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			ls.scanExpr(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			ls.scanExpr(lhs)
+		}
+		ls.recordBindings(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						ls.scanExpr(v)
+					}
+					ls.recordDeclBindings(vs)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		for _, a := range s.Call.Args {
+			ls.scanExpr(a)
+		}
+		ls.handleDefer(s.Call)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			ls.scanExpr(a)
+		}
+		// The spawned goroutine runs with its own (empty) held set; its
+		// body is scanned standalone as a separate FuncNode.
+	case *ast.IfStmt:
+		ls.scanStmt(s.Init)
+		ls.scanExpr(s.Cond)
+		snap := ls.snapshot()
+		ls.scanStmt(s.Body)
+		if terminates(s.Body) {
+			ls.held = snap
+		}
+		if s.Else != nil {
+			snap = ls.snapshot()
+			ls.scanStmt(s.Else)
+			if st, ok := s.Else.(*ast.BlockStmt); ok && terminates(st) {
+				ls.held = snap
+			}
+		}
+	case *ast.ForStmt:
+		ls.scanStmt(s.Init)
+		ls.scanExpr(s.Cond)
+		ls.scanStmt(s.Body)
+		ls.scanStmt(s.Post)
+	case *ast.RangeStmt:
+		ls.scanExpr(s.X)
+		ls.scanStmt(s.Body)
+	case *ast.SwitchStmt:
+		ls.scanStmt(s.Init)
+		ls.scanExpr(s.Tag)
+		ls.scanCaseBody(s.Body)
+	case *ast.TypeSwitchStmt:
+		ls.scanStmt(s.Init)
+		ls.scanStmt(s.Assign)
+		ls.scanCaseBody(s.Body)
+	case *ast.SelectStmt:
+		ls.scanCaseBody(s.Body)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ls.scanExpr(r)
+		}
+	case *ast.LabeledStmt:
+		ls.scanStmt(s.Stmt)
+	case *ast.IncDecStmt:
+		ls.scanExpr(s.X)
+	case *ast.SendStmt:
+		ls.scanExpr(s.Chan)
+		ls.scanExpr(s.Value)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// Conservative fallback: surface any calls buried in other
+		// statement forms.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				ls.handleCall(call)
+			}
+			return true
+		})
+	}
+}
+
+// scanCaseBody scans each case/comm clause with branch-local effects
+// discarded when the clause terminates.
+func (ls *lockScanner) scanCaseBody(body *ast.BlockStmt) {
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				ls.scanExpr(e)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			ls.scanStmt(c.Comm)
+			stmts = c.Body
+		}
+		snap := ls.snapshot()
+		ls.scanStmts(stmts)
+		if terminatesList(stmts) {
+			ls.held = snap
+		}
+	}
+}
+
+// scanExpr surfaces every call in the expression (outer before inner —
+// close enough to evaluation order for lock operations, which never nest).
+func (ls *lockScanner) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			ls.handleCall(call)
+		}
+		return true
+	})
+}
+
+func (ls *lockScanner) handleCall(call *ast.CallExpr) {
+	info := ls.pkg.Info
+	// Persist-point device call while holding locks?
+	if name, ok := deviceCall(info, call); ok {
+		if persistPointMethods[name] {
+			ls.crashPoint(call.Pos(), "pmem.Device."+name+" (a crash-injection point)")
+		}
+		return
+	}
+	// Immediately invoked function literal: inline with current state. Its
+	// deferred unlocks run when the literal returns — i.e. here, not at the
+	// enclosing function's exit.
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		before := ls.snapshot()
+		ls.scanStmt(lit.Body)
+		ls.finishInlined(before)
+		return
+	}
+	// sync.Mutex / sync.RWMutex method on an annotated lock?
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok && isSyncLockMethod(obj) {
+			level, inst := ls.levelOf(sel.X)
+			if level == "" {
+				return
+			}
+			switch obj.Name() {
+			case "Lock", "RLock":
+				ls.acquire(level, inst, call.Pos(), "")
+			case "Unlock", "RUnlock":
+				ls.release(level, inst)
+			}
+			return
+		}
+	}
+	// Module-internal callee with a lock summary?
+	callee := staticCallee(info, call)
+	if callee == nil {
+		return
+	}
+	fn := ls.prog.byObj[callee]
+	if fn == nil {
+		return
+	}
+	inst := callInstance(call)
+	sum := ls.prog.lockSummaryOf(fn)
+	if fn.persists {
+		ls.crashPoint(call.Pos(), "call to "+callee.Name()+" (reaches a crash-injection point)")
+	}
+	for _, lv := range sum.netRelease {
+		ls.release(lv, inst)
+	}
+	for lv := range sum.mayAcquire {
+		if containsLevel(sum.netAcquire, lv) {
+			continue // handled as a real acquire below
+		}
+		// Transient acquire inside the callee: check order against held.
+		if r, ranked := ls.cfg.rank[lv]; ranked {
+			for _, h := range ls.held {
+				hr, hRanked := ls.cfg.rank[h.level]
+				if hRanked && hr > r {
+					ls.reportf(call.Pos(), "order|"+lv+"|"+h.level,
+						"%s: call to %s acquires %s while %s (%s) is held, violating the declared lock order %q — annotate with %s if the instances are provably distinct",
+						ls.fnName, callee.Name(), lv, h.level, h.inst, strings.Join(ls.cfg.order, " < "), DirectiveLocksOK)
+					break
+				}
+			}
+		}
+		if ls.acquired != nil {
+			ls.acquired[lv] = true
+		}
+	}
+	for _, lv := range sum.netAcquire {
+		ls.acquire(lv, inst, call.Pos(), " via "+callee.Name())
+	}
+}
+
+func containsLevel(levels []string, lv string) bool {
+	for _, l := range levels {
+		if l == lv {
+			return true
+		}
+	}
+	return false
+}
+
+// finishInlined applies the defer semantics of an immediately invoked
+// literal after its body has been scanned: every lock whose deferred unlock
+// was registered inside the literal is released now; acquires with no
+// deferred unlock leak into the caller's held set, which matches Go.
+func (ls *lockScanner) finishInlined(before []heldLock) {
+	protectedBefore := map[string]bool{}
+	for _, h := range before {
+		if h.deferProtected {
+			protectedBefore[heldKey(h)] = true
+		}
+	}
+	var out []heldLock
+	for _, h := range ls.held {
+		if h.deferProtected && !protectedBefore[heldKey(h)] {
+			continue // its deferred unlock ran at the literal's return
+		}
+		out = append(out, h)
+	}
+	ls.held = out
+}
+
+func heldKey(h heldLock) string { return fmt.Sprintf("%s|%s|%d", h.level, h.inst, h.pos) }
+
+// handleDefer processes `defer X()`: unlocks (direct, via wrapper, or
+// inside a deferred literal) mark their lock defer-protected.
+func (ls *lockScanner) handleDefer(call *ast.CallExpr) {
+	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ls.deferredRelease(c)
+			return true
+		})
+		return
+	}
+	ls.deferredRelease(call)
+}
+
+// deferredRelease applies the lock-release effect of a deferred call.
+func (ls *lockScanner) deferredRelease(call *ast.CallExpr) {
+	info := ls.pkg.Info
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok && isSyncLockMethod(obj) {
+			if obj.Name() == "Unlock" || obj.Name() == "RUnlock" {
+				if level, inst := ls.levelOf(sel.X); level != "" {
+					ls.deferProtect(level, inst)
+				}
+			}
+			return
+		}
+	}
+	callee := staticCallee(info, call)
+	if callee == nil {
+		return
+	}
+	fn := ls.prog.byObj[callee]
+	if fn == nil {
+		return
+	}
+	for _, lv := range ls.prog.lockSummaryOf(fn).netRelease {
+		ls.deferProtect(lv, callInstance(call))
+	}
+}
+
+// recordBindings tracks `mu := t.lockFor(x)`-style assignments so a later
+// mu.Lock() resolves to the accessor's level.
+func (ls *lockScanner) recordBindings(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		level, _ := ls.levelOf(s.Rhs[i])
+		if level == "" {
+			continue
+		}
+		if v, ok := ls.pkg.Info.Defs[id].(*types.Var); ok {
+			ls.bindings[v] = level
+		} else if v, ok := ls.pkg.Info.Uses[id].(*types.Var); ok {
+			ls.bindings[v] = level
+		}
+	}
+}
+
+func (ls *lockScanner) recordDeclBindings(vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, name := range vs.Names {
+		level, _ := ls.levelOf(vs.Values[i])
+		if level == "" {
+			continue
+		}
+		if v, ok := ls.pkg.Info.Defs[name].(*types.Var); ok {
+			ls.bindings[v] = level
+		}
+	}
+}
+
+// levelOf resolves the lock expression to its annotated level and a
+// rendered instance string ("" when unannotated).
+func (ls *lockScanner) levelOf(e ast.Expr) (level, inst string) {
+	info := ls.pkg.Info
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s := info.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				if lv, ok := ls.cfg.fields[v]; ok {
+					return lv, types.ExprString(e)
+				}
+			}
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			if lv, ok := ls.cfg.fields[v]; ok {
+				return lv, types.ExprString(e)
+			}
+		}
+	case *ast.IndexExpr:
+		if lv, _ := ls.levelOf(x.X); lv != "" {
+			return lv, types.ExprString(e)
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			if lv, ok := ls.bindings[v]; ok {
+				return lv, x.Name
+			}
+			if lv, ok := ls.cfg.fields[v]; ok {
+				return lv, x.Name
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return ls.levelOf(x.X)
+		}
+	case *ast.StarExpr:
+		return ls.levelOf(x.X)
+	case *ast.CallExpr:
+		if f := staticCallee(info, x); f != nil {
+			if lv, ok := ls.cfg.accessors[f]; ok {
+				return lv, types.ExprString(x)
+			}
+		}
+	}
+	return "", ""
+}
+
+// callInstance renders the receiver of a method call (or the whole call)
+// as the instance identity for wrapper acquires like in.Lock().
+func callInstance(call *ast.CallExpr) string {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X)
+	}
+	return types.ExprString(call.Fun)
+}
+
+// isSyncLockMethod reports whether obj is a Lock/RLock/Unlock/RUnlock
+// method of package sync.
+func isSyncLockMethod(obj *types.Func) bool {
+	switch obj.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// terminates reports whether a block always transfers control out
+// (return/branch/panic as its last statement).
+func terminates(b *ast.BlockStmt) bool { return terminatesList(b.List) }
+
+func terminatesList(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		elseTerm := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = terminates(e)
+		case *ast.IfStmt:
+			elseTerm = terminatesList([]ast.Stmt{e})
+		}
+		return terminates(s.Body) && elseTerm
+	}
+	return false
+}

@@ -1,65 +1,53 @@
 package analysis
 
 import (
-	"go/ast"
 	"go/token"
 )
 
 // Persistcheck flags functions that perform cached stores on a pmem.Device
-// and can return without a flush covering them: either the function contains
-// no Flush/Persist/PersistStore64 at all, or its last store (in source
-// order) comes after its last flush. Dirty lines left behind at return are
-// invisible to crash reasoning — CrashDropDirty discards them, so any commit
-// record built on them is torn on recovery.
+// and can return without a flush covering them. Dirty lines left behind at
+// return are invisible to crash reasoning — CrashDropDirty discards them,
+// so any commit record built on them is torn on recovery.
+//
+// The v2 pass is interprocedural: a store counts as covered when a flush
+// follows it in the function itself, when a callee invoked after it
+// flushes, or when every caller path performs flush-class work after the
+// call site (the "obligation discharged by the caller" pattern, e.g. FACT's
+// CommitTxnBatch fencing a batch of insertLocked stores). Only a store that
+// is dirty on some path through the whole call graph is reported, and it is
+// reported once, at the store that creates the obligation.
 var Persistcheck = &Check{
-	Name: "persistcheck",
-	Doc:  "flag pmem.Device cached stores with no covering Flush/Persist before return",
-	Run:  runPersistcheck,
+	Name:      "persistcheck",
+	Doc:       "flag pmem.Device cached stores with no covering Flush/Persist on any path (interprocedural)",
+	Directive: Directive,
+	Run:       runPersistcheck,
 }
 
-func runPersistcheck(pkg *Package, report func(pos token.Pos, format string, args ...any)) {
-	for _, fn := range functionsOf(pkg) {
-		var (
-			lastStore     ast.Node
-			lastStoreName string
-			lastFlush     token.Pos = token.NoPos
-		)
-		inspectShallow(fn.body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+func runPersistcheck(prog *Program, report func(pos token.Pos, format string, args ...any)) {
+	for _, pkg := range prog.Targets {
+		for _, fn := range prog.funcsOf(pkg) {
+			ev := prog.evalPersistence(fn)
+			if !ev.directDirty {
+				continue
 			}
-			name, ok := deviceCall(pkg.Info, call)
-			if !ok {
-				return true
+			if prog.discharged(fn, make(map[*FuncNode]bool)) {
+				continue
 			}
+			n := len(fn.callers)
 			switch {
-			case storeMethods[name]:
-				if lastStore == nil || call.Pos() > lastStore.Pos() {
-					lastStore, lastStoreName = call, name
-				}
-			case flushMethods[name] && name != "WriteNT":
-				// WriteNT persists its own lines but says nothing about
-				// earlier cached stores, so it does not count as coverage.
-				if call.Pos() > lastFlush {
-					lastFlush = call.Pos()
-				}
+			case !ev.hasFlush && n == 0:
+				report(ev.lastStore.pos,
+					"%s: cached store (%s) is never flushed in this function or its callees, and no caller in the module discharges it; the stored lines are lost on CrashDropDirty — add Flush/Persist or annotate with %s",
+					fn.Name, ev.lastStore.name, Directive)
+			case !ev.hasFlush:
+				report(ev.lastStore.pos,
+					"%s: cached store (%s) is not flushed in this function, its callees, or after the call on every caller path (%d call site(s) checked) — add Flush/Persist, flush in the callers, or annotate with %s",
+					fn.Name, ev.lastStore.name, n, Directive)
+			default:
+				report(ev.lastStore.pos,
+					"%s: cached store (%s) follows the last flush-class call and no caller flushes after the call; it can reach return unflushed — move the flush after it or annotate with %s",
+					fn.Name, ev.lastStore.name, Directive)
 			}
-			return true
-		})
-		if lastStore == nil {
-			continue
-		}
-		if lastFlush == token.NoPos {
-			report(lastStore.Pos(),
-				"%s: cached store (%s) is never flushed in this function; the stored lines are lost on CrashDropDirty — add Flush/Persist or annotate the caller contract with %s",
-				fn.name, lastStoreName, Directive)
-			continue
-		}
-		if lastStore.Pos() > lastFlush {
-			report(lastStore.Pos(),
-				"%s: cached store (%s) follows the last Flush/Persist; it can reach return unflushed — move the flush after it or annotate with %s",
-				fn.name, lastStoreName, Directive)
 		}
 	}
 }

@@ -1,0 +1,19 @@
+package fixtures
+
+import "sync/atomic"
+
+// doorbell mixes atomic and plain access to its counter field. Exactly one
+// atomfieldcheck diagnostic, at the plain read.
+type doorbell struct {
+	rings uint64
+}
+
+func ringBell(b *doorbell) {
+	atomic.AddUint64(&b.rings, 1)
+}
+
+// readBellPlain reads rings without atomics while ringBell publishes with
+// them — a data race.
+func readBellPlain(b *doorbell) uint64 {
+	return b.rings
+}

@@ -1,0 +1,17 @@
+package fixtures
+
+import "sync/atomic"
+
+// gauge is accessed through sync/atomic everywhere: zero diagnostics in
+// this file.
+type gauge struct {
+	level uint64
+}
+
+func setGauge(g *gauge, v uint64) {
+	atomic.StoreUint64(&g.level, v)
+}
+
+func readGauge(g *gauge) uint64 {
+	return atomic.LoadUint64(&g.level)
+}

@@ -1,0 +1,16 @@
+package fixtures
+
+import "denova/internal/pmem"
+
+// interStage stores without flushing, and its only caller also fails to
+// flush after the call, so the obligation is never discharged anywhere in
+// the program. Exactly one persistcheck diagnostic, reported here at the
+// store that creates the obligation (not at the caller).
+func interStage(d *pmem.Device) {
+	d.Write(32, make([]byte, 8))
+}
+
+// interCaller invokes interStage and returns without flush-class work.
+func interCaller(d *pmem.Device) {
+	interStage(d)
+}

@@ -1,0 +1,27 @@
+package fixtures
+
+import "denova/internal/pmem"
+
+// interFlushee's cached store is covered by the flushing callee invoked
+// after it: the v1 intraprocedural pass needed a directive here, the v2
+// summary pass proves it clean. Zero diagnostics in this file.
+func interFlushee(d *pmem.Device) {
+	d.Write(64, make([]byte, 8))
+	interFlushHelper(d)
+}
+
+func interFlushHelper(d *pmem.Device) {
+	d.Persist(64, 8)
+}
+
+// interDischarged stages a store that every caller persists right after
+// the call — the CommitTxnBatch pattern. Clean under the caller-discharge
+// rule.
+func interDischarged(d *pmem.Device) {
+	d.Write(128, make([]byte, 8))
+}
+
+func interCommit(d *pmem.Device) {
+	interDischarged(d)
+	d.Persist(128, 8)
+}

@@ -1,0 +1,23 @@
+package fixtures
+
+import (
+	"sync"
+
+	"denova/internal/pmem"
+)
+
+// crashGuard's mutex level is annotated but deliberately absent from the
+// order declaration: unranked levels still get double-acquire and
+// crash-point discipline.
+type crashGuard struct {
+	mu sync.Mutex //denova:locks(fx.crash)
+}
+
+// lockAcrossCrash holds a bare (non-deferred) lock across a persist point;
+// if the injected crash panic unwinds here, the lock leaks and the next
+// acquirer hangs forever. Exactly one lockcheck diagnostic.
+func lockAcrossCrash(g *crashGuard, d *pmem.Device) {
+	g.mu.Lock()
+	d.PersistStore64(0, 1)
+	g.mu.Unlock()
+}

@@ -1,0 +1,10 @@
+package fixtures
+
+// lockDoubleAcquire re-locks a mutex instance already held on the same
+// path — a guaranteed self-deadlock. Exactly one lockcheck diagnostic.
+func lockDoubleAcquire(p *lockedPair) {
+	p.outer.Lock()
+	p.outer.Lock()
+	p.outer.Unlock()
+	p.outer.Unlock()
+}

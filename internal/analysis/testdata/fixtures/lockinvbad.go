@@ -1,0 +1,10 @@
+package fixtures
+
+// lockInverted acquires inner before outer, violating the declared
+// fx.outer < fx.inner order. Exactly one lockcheck diagnostic.
+func lockInverted(p *lockedPair) {
+	p.inner.Lock()
+	defer p.inner.Unlock()
+	p.outer.Lock()
+	defer p.outer.Unlock()
+}

@@ -1,0 +1,24 @@
+package fixtures
+
+import "sync"
+
+// The fixture package declares its own two-level hierarchy; the fixture
+// program is separate from the repo tree, so this is the declaration
+// lockcheck ranks these levels by.
+//
+//denova:lockorder fx.outer < fx.inner
+
+// lockedPair carries the annotated fixture hierarchy.
+type lockedPair struct {
+	outer sync.Mutex //denova:locks(fx.outer)
+	inner sync.Mutex //denova:locks(fx.inner)
+}
+
+// lockGoodOrder acquires outer before inner, both with deferred unlocks:
+// zero diagnostics in this file.
+func lockGoodOrder(p *lockedPair) {
+	p.outer.Lock()
+	defer p.outer.Unlock()
+	p.inner.Lock()
+	defer p.inner.Unlock()
+}

@@ -77,7 +77,7 @@ type Daemon struct {
 	budget int64
 
 	// tickCond wakes budget-starved workers when a trigger refills it.
-	tickMu   sync.Mutex
+	tickMu   sync.Mutex //denova:locks(dedup.tick)
 	tickCond *sync.Cond
 	tickGen  uint64
 
@@ -85,7 +85,7 @@ type Daemon struct {
 	// raises it BEFORE DequeueBatch, so busy == 0 && DWQ.Len() == 0 implies
 	// no node is in flight.
 	busy     int64
-	idleMu   sync.Mutex
+	idleMu   sync.Mutex //denova:locks(dedup.idle)
 	idleCond *sync.Cond
 
 	wakeups int64
@@ -379,15 +379,17 @@ func (e *Engine) Drain() int {
 		if len(nodes) == 0 {
 			return n
 		}
-		e.quiesce.RLock()
-		for _, node := range nodes {
-			e.ProcessEntry(node)
-			n++
-		}
-		for _, prefix := range e.table.PendingReorders() {
-			e.table.ReorderChain(prefix)
-		}
-		e.quiesce.RUnlock()
+		func() {
+			e.quiesce.RLock()
+			defer e.quiesce.RUnlock()
+			for _, node := range nodes {
+				e.ProcessEntry(node)
+				n++
+			}
+			for _, prefix := range e.table.PendingReorders() {
+				e.table.ReorderChain(prefix)
+			}
+		}()
 	}
 }
 

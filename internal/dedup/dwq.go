@@ -28,7 +28,7 @@ type Node struct {
 // of a given inode land in the same shard, so per-inode processing order is
 // preserved no matter how many workers drain concurrently.
 type dwqShard struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //denova:locks(dwq.shard)
 	items []Node
 	head  int // index of the next node to dequeue
 }
@@ -65,7 +65,7 @@ type DWQ struct {
 	peakLen  int64 // atomic
 	seq      uint64
 
-	waitMu   sync.Mutex
+	waitMu   sync.Mutex //denova:locks(dwq.doorbell)
 	waitCond *sync.Cond
 	wakeGen  uint64 // under waitMu: bumped by WakeAll so waiters re-check stop conditions
 

@@ -30,7 +30,7 @@ type Engine struct {
 	// Drain, inline writes) for the duration of a batch, and exclusively by
 	// the scrubber, whose unreferenced-stays-unreferenced argument needs
 	// all consumers parked at a batch boundary.
-	quiesce sync.RWMutex
+	quiesce sync.RWMutex //denova:locks(dedup.quiesce)
 
 	obs        *Observer             // metrics/tracing; nil = uninstrumented
 	userLinger func(d time.Duration) // user-facing DWQ linger hook (see SetLingerHook)

@@ -75,21 +75,23 @@ func Recover(e *Engine, scan *nova.ScanResult) RecoveryReport {
 			if !ok {
 				continue // the file was an orphan; its blocks are gone
 			}
-			in.Lock()
-			we, err := nova.ReadWriteEntry(fs.Dev, ref.Off)
-			if err == nil && we.Ino == ref.Ino && we.DedupeFlag == nova.FlagInProcess {
-				// Step ⑥ resumed: commit the pending count of each data page
-				// this entry references. For a target entry, unique pages hold
-				// their own FACT entries and duplicate pages' original blocks
-				// have none (their canonical counterparts are committed through
-				// the appended one-page entries, which are in this list too).
-				for i := uint64(0); i < uint64(we.NumPages); i++ {
-					table.CommitTxnByBlock(we.Block + i)
+			func() {
+				in.Lock()
+				defer in.Unlock()
+				we, err := nova.ReadWriteEntry(fs.Dev, ref.Off)
+				if err == nil && we.Ino == ref.Ino && we.DedupeFlag == nova.FlagInProcess {
+					// Step ⑥ resumed: commit the pending count of each data page
+					// this entry references. For a target entry, unique pages hold
+					// their own FACT entries and duplicate pages' original blocks
+					// have none (their canonical counterparts are committed through
+					// the appended one-page entries, which are in this list too).
+					for i := uint64(0); i < uint64(we.NumPages); i++ {
+						table.CommitTxnByBlock(we.Block + i)
+					}
+					nova.SetDedupeFlag(fs.Dev, ref.Off, nova.FlagComplete)
+					rep.Resumed++
 				}
-				nova.SetDedupeFlag(fs.Dev, ref.Off, nova.FlagComplete)
-				rep.Resumed++
-			}
-			in.Unlock()
+			}()
 		}
 	})
 

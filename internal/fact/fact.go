@@ -73,10 +73,10 @@ type Table struct {
 	dataStart  uint64 // first data block number
 	numData    int64
 
-	locks [lockStripes]sync.Mutex
+	locks [lockStripes]sync.Mutex //denova:locks(fact.chain)
 
-	iamu    sync.Mutex
-	iaaFree []uint64 // free IAA entry indexes (DRAM free list, rebuilt at mount)
+	iamu    sync.Mutex //denova:locks(fact.iaa)
+	iaaFree []uint64   // free IAA entry indexes (DRAM free list, rebuilt at mount)
 
 	obs *Observer // metrics/tracing; nil = uninstrumented
 
@@ -152,6 +152,9 @@ func (t *Table) entryOff(idx uint64) int64 {
 	return t.base + int64(idx)*EntrySize
 }
 
+// lockFor returns the stripe lock guarding the chain of the given prefix.
+//
+//denova:locks(fact.chain)
 func (t *Table) lockFor(prefix uint64) *sync.Mutex {
 	return &t.locks[prefix%lockStripes]
 }

@@ -23,7 +23,7 @@ import (
 
 // reorderQueue collects chains flagged during lookups for the daemon.
 type reorderQueue struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //denova:locks(fact.reorder)
 	pending map[uint64]struct{}
 }
 

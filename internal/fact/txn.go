@@ -212,7 +212,7 @@ func (t *Table) CommitTxnBatch(idxs []uint64) int {
 			}
 			nw := uint64(rfc+1) | uint64(uc-1)<<32
 			if t.dev.CAS64(off, w, nw) {
-				t.dev.Flush(off, 8) //denova:persist-ok fenced once for the whole batch below
+				t.dev.Flush(off, 8)
 				atomic.AddInt64(&t.stats.Commits, 1)
 				committed++
 				break

@@ -22,8 +22,8 @@ type Allocator struct {
 }
 
 type allocShard struct {
-	mu   sync.Mutex
-	exts []extent // sorted by start, non-adjacent
+	mu   sync.Mutex //denova:locks(nova.alloc)
+	exts []extent   // sorted by start, non-adjacent
 	// singles is a LIFO of single freed blocks awaiting coalescing. The
 	// overwrite path frees and reallocates one page per shadowed page;
 	// pushing/popping here is O(1), where inserting into the sorted extent
@@ -73,7 +73,7 @@ func NewAllocatorFromBitmap(base uint64, nblocks int64, nshards int, used []bool
 	for i := range a.shards {
 		a.shards[i].exts = a.shards[i].exts[:0]
 	}
-	a.free = 0
+	atomic.StoreInt64(&a.free, 0)
 	per := nblocks / int64(len(a.shards))
 	var cur extent
 	flush := func() {
@@ -86,7 +86,7 @@ func NewAllocatorFromBitmap(base uint64, nblocks int64, nshards int, used []bool
 		}
 		sh := &a.shards[si]
 		sh.exts = append(sh.exts, cur)
-		a.free += cur.n
+		atomic.AddInt64(&a.free, cur.n)
 		cur = extent{}
 	}
 	for i := int64(0); i < nblocks; i++ {

@@ -127,9 +127,11 @@ func (fs *FS) createInode(path string, dir bool) (*Inode, error) {
 		_, err = fs.appendEntryLocked(parent, rec)
 	}
 	if err != nil {
-		in.mu.Lock()
-		fs.deleteInodeLocked(in)
-		in.mu.Unlock()
+		func() {
+			in.mu.Lock()
+			defer in.mu.Unlock()
+			fs.deleteInodeLocked(in)
+		}()
 		fs.releaseInodeSlot(ino)
 		return nil, err
 	}
@@ -217,31 +219,35 @@ func (fs *FS) Delete(path string) error {
 	if err != nil {
 		return err
 	}
-	parent.mu.Lock()
-	ino, ok := parent.names[leaf]
-	if !ok {
-		parent.mu.Unlock()
-		return ErrNotExist
-	}
-	in, ok := fs.Inode(ino)
-	if !ok {
-		parent.mu.Unlock()
-		return fmt.Errorf("nova: dentry %q pointed at missing inode %d", path, ino)
-	}
-	if in.dir {
-		parent.mu.Unlock()
-		return ErrIsDir
-	}
-	if err := fs.removeDentryLocked(parent, leaf, ino); err != nil {
-		parent.mu.Unlock()
+	in, err := func() (*Inode, error) {
+		parent.mu.Lock()
+		defer parent.mu.Unlock()
+		ino, ok := parent.names[leaf]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		in, ok := fs.Inode(ino)
+		if !ok {
+			return nil, fmt.Errorf("nova: dentry %q pointed at missing inode %d", path, ino)
+		}
+		if in.dir {
+			return nil, ErrIsDir
+		}
+		if err := fs.removeDentryLocked(parent, leaf, ino); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}()
+	if err != nil {
 		return err
 	}
-	parent.mu.Unlock()
 
-	in.mu.Lock()
-	fs.deleteInodeLocked(in)
-	in.mu.Unlock()
-	fs.releaseInodeSlot(ino)
+	func() {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		fs.deleteInodeLocked(in)
+	}()
+	fs.releaseInodeSlot(in.ino)
 	return nil
 }
 
@@ -251,41 +257,43 @@ func (fs *FS) Rmdir(path string) error {
 	if err != nil {
 		return err
 	}
-	parent.mu.Lock()
-	ino, ok := parent.names[leaf]
-	if !ok {
-		parent.mu.Unlock()
-		return ErrNotExist
-	}
-	in, ok := fs.Inode(ino)
-	if !ok {
-		parent.mu.Unlock()
-		return fmt.Errorf("nova: dentry %q pointed at missing inode %d", path, ino)
-	}
-	if !in.dir {
-		parent.mu.Unlock()
-		return ErrNotDir
-	}
-	in.mu.Lock()
-	if len(in.names) != 0 {
-		in.mu.Unlock()
-		parent.mu.Unlock()
-		return ErrNotEmpty
-	}
-	if err := fs.removeDentryLocked(parent, leaf, ino); err != nil {
-		in.mu.Unlock()
-		parent.mu.Unlock()
+	ino, err := func() (uint64, error) {
+		parent.mu.Lock()
+		defer parent.mu.Unlock()
+		ino, ok := parent.names[leaf]
+		if !ok {
+			return 0, ErrNotExist
+		}
+		in, ok := fs.Inode(ino)
+		if !ok {
+			return 0, fmt.Errorf("nova: dentry %q pointed at missing inode %d", path, ino)
+		}
+		if !in.dir {
+			return 0, ErrNotDir
+		}
+		// Parent-then-child same-level nesting; in.mu must stay held from
+		// the emptiness check through the teardown so no entry can sneak in
+		// after the check.
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		if len(in.names) != 0 {
+			return 0, ErrNotEmpty
+		}
+		if err := fs.removeDentryLocked(parent, leaf, ino); err != nil {
+			return 0, err
+		}
+		// Tear the directory inode down: free its log chain, invalidate.
+		for _, pg := range in.logPages {
+			fs.alloc.Free(pg, 1)
+		}
+		in.logPages = nil
+		in.live = map[uint64]int{}
+		fs.Dev.PersistStore64(fs.inodeOff(in.ino)+inFlags, 0)
+		return ino, nil
+	}()
+	if err != nil {
 		return err
 	}
-	parent.mu.Unlock()
-	// Tear the directory inode down: free its log chain, invalidate.
-	for _, pg := range in.logPages {
-		fs.alloc.Free(pg, 1)
-	}
-	in.logPages = nil
-	in.live = map[uint64]int{}
-	fs.Dev.PersistStore64(fs.inodeOff(in.ino)+inFlags, 0)
-	in.mu.Unlock()
 	fs.releaseInodeSlot(ino)
 	return nil
 }

@@ -30,7 +30,7 @@ type FS struct {
 
 	alloc *Allocator
 
-	imu     sync.RWMutex // guards inodes/inUse/inoHint; read-locked on hot lookup paths
+	imu     sync.RWMutex //denova:locks(nova.imu) guards inodes/inUse/inoHint; read-locked on hot lookup paths
 	inodes  map[uint64]*Inode
 	inUse   []bool // inode slot bitmap
 	inoHint uint64 // next slot to try (keeps allocation O(1) amortized)
@@ -276,9 +276,11 @@ func (fs *FS) Unmount() error {
 	}
 	fs.imu.RUnlock()
 	for _, in := range inos {
-		in.mu.Lock()
-		fs.updateInodeSummary(in)
-		in.mu.Unlock()
+		func() {
+			in.mu.Lock()
+			defer in.mu.Unlock()
+			fs.updateInodeSummary(in)
+		}()
 	}
 	setCleanFlag(fs.Dev, true)
 	return nil

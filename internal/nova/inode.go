@@ -140,7 +140,7 @@ func inodeChecksum(rec layout.Record) uint32 {
 // protected by its RWMutex; NOVA's write path and DeNOVA's deduplication
 // daemon both take the write lock, readers take the read lock.
 type Inode struct {
-	mu  sync.RWMutex
+	mu  sync.RWMutex //denova:locks(nova.inode)
 	ino uint64
 	dir bool
 	gen uint64

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"denova/internal/layout"
@@ -285,16 +286,19 @@ func Mount(dev *pmem.Device, opts ...Option) (*FS, *ScanResult, error) {
 	// name on the next crash.
 	err = fs.timedPass(res, "repairs", func() error {
 		for _, r := range repairs {
-			r.dir.mu.Lock()
-			rec, err := encodeDentry(Dentry{Remove: true, Ino: r.ino, Name: r.name})
-			if err == nil {
-				_, err = fs.appendEntryLocked(r.dir, rec)
-			}
-			if err == nil {
-				fs.commitTailLocked(r.dir)
-				res.RepairsPersisted++
-			}
-			r.dir.mu.Unlock()
+			err := func() error {
+				r.dir.mu.Lock()
+				defer r.dir.mu.Unlock()
+				rec, err := encodeDentry(Dentry{Remove: true, Ino: r.ino, Name: r.name})
+				if err == nil {
+					_, err = fs.appendEntryLocked(r.dir, rec)
+				}
+				if err == nil {
+					fs.commitTailLocked(r.dir)
+					res.RepairsPersisted++
+				}
+				return err
+			}()
 			if err != nil {
 				return fmt.Errorf("nova: persisting dangling-dentry repair %q in dir %d: %w", r.name, r.dir.ino, err)
 			}
@@ -313,14 +317,16 @@ func Mount(dev *pmem.Device, opts ...Option) (*FS, *ScanResult, error) {
 	// GC rewrite. Reclaim such pages now, in ascending inode order.
 	_ = fs.timedPass(res, "log-gc", func() error {
 		for _, in := range files {
-			in.mu.Lock()
-			pages := append([]uint64(nil), in.logPages...)
-			for _, pg := range pages {
-				if in.live[pg] == 0 && fs.fastGCLocked(in, pg) {
-					res.GCPages++
+			func() {
+				in.mu.Lock()
+				defer in.mu.Unlock()
+				pages := append([]uint64(nil), in.logPages...)
+				for _, pg := range pages {
+					if in.live[pg] == 0 && fs.fastGCLocked(in, pg) {
+						res.GCPages++
+					}
 				}
-			}
-			in.mu.Unlock()
+			}()
 		}
 		return nil
 	})
@@ -461,8 +467,10 @@ func (fs *FS) replayFilesParallel(files []*Inode, res *ScanResult, workers int) 
 			maxTime = f.maxTime
 		}
 	}
-	fs.seq = maxSeq
-	fs.clock = maxTime
+	// The worker pool has joined, but tick()/nextSeq() read these with
+	// atomics for the rest of the mount's lifetime; publish them the same way.
+	atomic.StoreUint64(&fs.seq, maxSeq)
+	atomic.StoreUint64(&fs.clock, maxTime)
 	return nil
 }
 

@@ -124,7 +124,7 @@ func (h *Histogram) Merge(other *Histogram) {
 	if other == nil {
 		return
 	}
-	for i := range other.buckets {
+	for i := 0; i < HistBuckets; i++ {
 		if n := atomic.LoadInt64(&other.buckets[i]); n != 0 {
 			atomic.AddInt64(&h.buckets[i], n)
 		}
@@ -210,7 +210,7 @@ func (h *Histogram) Stats() HistogramStats {
 // Registry is a named collection of metrics. Lookups lock; hot paths should
 // resolve their metrics once and keep the pointers.
 type Registry struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //denova:locks(obs.registry)
 	ctrs  map[string]*Counter
 	gaugs map[string]*Gauge
 	hists map[string]*Histogram

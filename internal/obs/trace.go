@@ -97,13 +97,13 @@ func (o Op) String() string {
 // Event is one trace record. Fixed size, stored by value in the ring, so
 // emitting never allocates.
 type Event struct {
-	TS    int64  `json:"ts_ns"`             // unix nanoseconds at emit
-	DurNs int64  `json:"dur_ns,omitempty"`  // operation duration, 0 for points
-	Op    Op     `json:"op"`                // event type (Op.String() in JSON exports)
-	Shard uint16 `json:"shard"`             // ring shard that recorded it
-	Ino   uint64 `json:"ino,omitempty"`     // inode, when applicable
-	Arg   uint64 `json:"arg,omitempty"`     // op-specific (entry offset, block, count)
-	Seq   uint64 `json:"seq"`               // per-shard sequence (drop accounting)
+	TS    int64  `json:"ts_ns"`            // unix nanoseconds at emit
+	DurNs int64  `json:"dur_ns,omitempty"` // operation duration, 0 for points
+	Op    Op     `json:"op"`               // event type (Op.String() in JSON exports)
+	Shard uint16 `json:"shard"`            // ring shard that recorded it
+	Ino   uint64 `json:"ino,omitempty"`    // inode, when applicable
+	Arg   uint64 `json:"arg,omitempty"`    // op-specific (entry offset, block, count)
+	Seq   uint64 `json:"seq"`              // per-shard sequence (drop accounting)
 }
 
 // traceSlot is one ring cell. Every field is written and read atomically so

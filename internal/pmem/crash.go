@@ -154,8 +154,8 @@ func (d *Device) Clone() *Device {
 			cp := make([]byte, CacheLineSize)
 			copy(cp, old)
 			img.dirty[i].old[l] = cp
-			img.dirty[i].n++
-			img.dirtyCount++
+			atomic.AddInt32(&img.dirty[i].n, 1)
+			atomic.AddInt64(&img.dirtyCount, 1)
 		}
 		sh.mu.Unlock()
 	}

@@ -40,13 +40,22 @@ const (
 // fires. Harness code recovers it; see RunToCrash.
 var ErrCrashInjected = fmt.Errorf("pmem: injected crash")
 
+// The module-wide lock hierarchy, enforced statically by the lockcheck
+// analyzer (internal/analysis). A goroutine may only acquire a lock whose
+// level is to the RIGHT of every lock it already holds. pmem sits at the
+// bottom (rightmost) because every layer above it ends up in Store64/Flush
+// with its own locks held; the word stripe nests inside the line shard
+// (Store64 holds atomMu while saveOld takes dirty[i].mu).
+//
+//denova:lockorder dedup.quiesce < nova.inode < nova.alloc < nova.imu < dwq.shard < dwq.doorbell < dedup.tick < dedup.idle < fact.chain < fact.reorder < fact.iaa < obs.registry < pmem.word < pmem.line < pmem.shadow
+
 const dirtyShards = 64
 
 // dirtyShard records, per cache line, the content the persistent media held
 // before the first unflushed store to that line. n mirrors len(old) as an
 // atomic so hot paths can skip the lock when the shard is clean.
 type dirtyShard struct {
-	mu  sync.Mutex
+	mu  sync.Mutex //denova:locks(pmem.line)
 	n   int32
 	old map[int64][]byte // line index -> previous persisted 64B content
 }
@@ -65,7 +74,7 @@ type Device struct {
 	dirtyCount int64 // total dirty lines across shards (atomic)
 
 	// word-granular lock striping for atomic 8-byte operations
-	atomMu [dirtyShards]sync.Mutex
+	atomMu [dirtyShards]sync.Mutex //denova:locks(pmem.word)
 
 	stats Stats
 

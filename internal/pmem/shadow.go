@@ -49,7 +49,7 @@ func (v ShadowViolation) String() string {
 const maxViolationLines = 16
 
 type shadowState struct {
-	mu         sync.Mutex
+	mu         sync.Mutex //denova:locks(pmem.shadow)
 	violations []ShadowViolation
 }
 
