@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race torture bench bench-recovery bench-json clean
+.PHONY: all build lint vet test race torture bench bench-recovery bench-json slo clean
 
 all: build lint test
 
@@ -46,6 +46,14 @@ bench-recovery:
 # (p50/p95/p99/max from the obs histograms), pmem counters and dedup savings.
 bench-json:
 	$(GO) run ./cmd/denova-bench json
+
+# slo = the performance regression gate: replay the five standard workload
+# profiles (fileserver, varmail, webproxy, backup-ingest, multitenant),
+# write their BENCH_*.json reports, and compare ops/s floors and per-op p99
+# ceilings against the committed slo.json (30% noise margin). Non-zero exit
+# on any violation. Re-baseline by editing slo.json — see DESIGN.md §5.5.
+slo:
+	$(GO) run ./cmd/denova-bench slo
 
 clean:
 	$(GO) clean ./...

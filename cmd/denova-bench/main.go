@@ -34,6 +34,7 @@ var (
 	thinkTime = flag.Bool("think", true, "interleave think time equal to I/O time (paper §V-B1)")
 	reps      = flag.Int("reps", 3, "interleaved measurement rounds per figure cell (median reported)")
 	jsondir   = flag.String("jsondir", ".", "output directory for the json artifact's BENCH_*.json files")
+	slofile   = flag.String("slofile", "slo.json", "SLO objectives file for the slo artifact")
 )
 
 // cell is one figure data point; sweeps measure all cells per round so that
@@ -98,7 +99,7 @@ func n(base int) int {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: denova-bench [flags] <table1|fig2|table4|fig8|fig9|fig10|fig11|fig12|model|ablations|space|overhead|wear|json|all>")
+		fmt.Fprintln(os.Stderr, "usage: denova-bench [flags] <table1|fig2|table4|fig8|fig9|fig10|fig11|fig12|model|ablations|space|overhead|wear|json|slo|all>")
 		os.Exit(2)
 	}
 	arts := map[string]func() error{
@@ -116,6 +117,7 @@ func main() {
 		"overhead":  overhead,
 		"wear":      wear,
 		"json":      benchJSON,
+		"slo":       sloGate,
 	}
 	run := func(name string) {
 		fn, ok := arts[name]
@@ -148,11 +150,55 @@ func table1() error {
 // reports (ops/s, latency percentiles, pmem counters, dedup savings) that
 // CI archives as artifacts.
 func benchJSON() error {
+	if err := os.MkdirAll(*jsondir, 0o755); err != nil {
+		return err
+	}
 	paths, err := harness.WriteStandardBenchJSON(*jsondir)
 	for _, p := range paths {
 		fmt.Println("wrote", p)
 	}
+	if err != nil {
+		return err
+	}
+	_, paths, err = harness.WriteProfileBenchJSON(*jsondir)
+	for _, p := range paths {
+		fmt.Println("wrote", p)
+	}
 	return err
+}
+
+// sloGate replays the standard profile suite, writes its BENCH_*.json
+// reports into -jsondir, and checks them against -slofile. Any violation
+// makes the process exit non-zero, which is what CI keys on.
+func sloGate() error {
+	if err := os.MkdirAll(*jsondir, 0o755); err != nil {
+		return err
+	}
+	reports, violations, err := harness.RunSLOGate(*jsondir, *slofile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %12s %10s\n", "profile", "ops/s", "ops")
+	for _, rep := range reports {
+		fmt.Printf("%-14s %12.0f %10d\n", rep.Profile, rep.OpsPerSec, rep.TotalOps)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "SLO VIOLATION:", v)
+		}
+		return fmt.Errorf("%d SLO violation(s) against %s", len(violations), *slofile)
+	}
+	fmt.Printf("SLO gate passed: %d profiles within objectives (%s, margin %.0f%%)\n",
+		len(reports), *slofile, mustLoadMargin(*slofile)*100)
+	return nil
+}
+
+func mustLoadMargin(path string) float64 {
+	slo, err := harness.LoadSLO(path)
+	if err != nil {
+		return 0
+	}
+	return slo.Margin
 }
 
 func fig2() error {

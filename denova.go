@@ -348,6 +348,18 @@ func (f *FS) ScrubNow() int {
 	return f.engine.ScrubNow()
 }
 
+// ForceGC runs one thorough garbage-collection pass over the named file's
+// log and returns the number of pages reclaimed. Concurrency-safe against
+// writers and the dedup daemon; chaos harnesses use it to force log GC into
+// the middle of a live workload.
+func (f *FS) ForceGC(name string) (int, error) {
+	in, err := f.fs.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return f.fs.ForceThoroughGC(in), nil
+}
+
 // QueueLen returns the current DWQ length.
 func (f *FS) QueueLen() int {
 	if f.engine == nil {

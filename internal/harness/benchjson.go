@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"denova"
 	"denova/internal/obs"
 	"denova/internal/workload"
 )
@@ -36,21 +37,28 @@ type PmemCounters struct {
 	WrittenBytes int64 `json:"written_bytes"`
 }
 
-// BenchReport is the schema of a BENCH_<name>.json file.
+// BenchReport is the schema of a BENCH_<name>.json file. Plain write
+// benchmarks leave Profile empty; profile-trace runs set it (along with
+// TotalOps/OpCounts) and the SLO gate keys on it. The field names are
+// pinned by the golden-file test — the gate trusts them.
 type BenchReport struct {
 	Name        string  `json:"name"`
 	Model       string  `json:"model"`
 	Workload    string  `json:"workload"`
+	Profile     string  `json:"profile,omitempty"` // op-trace profile name
 	GeneratedAt string  `json:"generated_at"`
 	Threads     int     `json:"threads"`
 	Files       int     `json:"files"`
 	Bytes       int64   `json:"bytes"`
 	ElapsedNs   int64   `json:"elapsed_ns"`
 	DrainNs     int64   `json:"drain_ns"`
-	OpsPerSec   float64 `json:"ops_per_sec"` // file writes per second (write phase)
+	OpsPerSec   float64 `json:"ops_per_sec"` // write-phase file writes/s, or trace ops/s
 	MBps        float64 `json:"mbps"`        // write-phase throughput
 	Savings     float64 `json:"savings"`     // post-drain dedup savings [0,1]
 	QueuePeak   int     `json:"queue_peak"`
+
+	TotalOps int64            `json:"total_ops,omitempty"` // trace length (profile runs)
+	OpCounts map[string]int64 `json:"op_counts,omitempty"` // per-kind op counts
 
 	Pmem    PmemCounters              `json:"pmem"`
 	Latency map[string]LatencySummary `json:"latency"` // op name → percentiles
@@ -109,6 +117,13 @@ func buildReport(name string, res WriteResult, snap obs.Snapshot, queuePeak int)
 // from the model and workload ("DeNOVA-Immediate" + "fio-4k" →
 // "denova-immediate_fio-4k") unless overridden via name.
 func RunBenchJSON(cfg FSConfig, spec workload.Spec, opts WriteOptions, dir, name string) (BenchReport, string, error) {
+	spec = spec.Normalized()
+	if spec.Name == "" && name == "" {
+		return BenchReport{}, "", fmt.Errorf("benchjson: spec has no Name and no override name given")
+	}
+	if spec.NumFiles == 0 {
+		return BenchReport{}, "", fmt.Errorf("benchjson: empty workload %q (zero files, nothing to measure)", spec.Name)
+	}
 	opts.KeepFS = true
 	res, fs, err := RunWrite(cfg, spec, opts)
 	if err != nil {
@@ -123,21 +138,30 @@ func RunBenchJSON(cfg FSConfig, spec workload.Spec, opts WriteOptions, dir, name
 		name = benchSlug(res.Model) + "_" + benchSlug(res.Workload)
 	}
 	rep := buildReport(name, res, snap, queuePeak)
-	path := filepath.Join(dir, "BENCH_"+name+".json")
-	f, err := os.Create(path)
+	path, err := writeReport(rep, dir)
 	if err != nil {
 		return rep, "", err
+	}
+	return rep, path, nil
+}
+
+// writeReport serializes one report as BENCH_<name>.json in dir.
+func writeReport(rep BenchReport, dir string) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+rep.Name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(rep); err != nil {
 		f.Close()
-		return rep, "", err
+		return "", err
 	}
 	if err := f.Close(); err != nil {
-		return rep, "", err
+		return "", err
 	}
-	return rep, path, nil
+	return path, nil
 }
 
 // benchSlug lowercases a label, maps non-filename characters to '-' and
@@ -162,6 +186,103 @@ func StandardBenchSpecs() []workload.Spec {
 		{Name: "dup50-4m", FileSize: 1 << 20, NumFiles: 4, DupRatio: 0.5, Seed: 42},
 		{Name: "dup05-4m", FileSize: 1 << 20, NumFiles: 4, DupRatio: 0.05, Seed: 43},
 	}
+}
+
+// buildProfileReport assembles a BenchReport from one profile run: the
+// trace-level throughput and per-op-type percentiles from the runner's own
+// histograms, plus the FS-layer percentiles from the obs snapshot.
+func buildProfileReport(name string, res ProfileResult, snap obs.Snapshot) BenchReport {
+	rep := BenchReport{
+		Name:        name,
+		Model:       res.Model,
+		Workload:    res.Profile,
+		Profile:     res.Profile,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Threads:     res.Threads,
+		Files:       len(res.Oracle),
+		Bytes:       res.Bytes,
+		ElapsedNs:   res.Elapsed.Nanoseconds(),
+		DrainNs:     res.Drain.Nanoseconds(),
+		OpsPerSec:   res.OpsPerSec(),
+		Savings:     res.Savings,
+		QueuePeak:   res.QueuePeak,
+		TotalOps:    res.Ops,
+		OpCounts:    res.OpCounts,
+		Pmem: PmemCounters{
+			FlushedLines: res.Dev.FlushedLines,
+			NTLines:      res.Dev.NTLines,
+			Fences:       res.Dev.Fences,
+			ReadBytes:    res.Dev.ReadBytes,
+			WrittenBytes: res.Dev.WrittenBytes,
+		},
+		Latency: map[string]LatencySummary{},
+	}
+	if res.Elapsed > 0 {
+		rep.MBps = float64(res.Bytes) / (1 << 20) / res.Elapsed.Seconds()
+	}
+	for op, h := range res.Latency {
+		rep.Latency[op] = LatencySummary{
+			Count: h.Count, P50Ns: h.P50Ns, P95Ns: h.P95Ns, P99Ns: h.P99Ns, MaxNs: h.MaxNs,
+		}
+	}
+	for _, op := range benchOps {
+		h, ok := snap.Histograms[op]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		rep.Latency[op] = LatencySummary{
+			Count: h.Count, P50Ns: h.P50Ns, P95Ns: h.P95Ns, P99Ns: h.P99Ns, MaxNs: h.MaxNs,
+		}
+	}
+	return rep
+}
+
+// RunProfileBenchJSON replays one profile and writes BENCH_<name>.json into
+// dir ("<model>_<profile>" unless overridden).
+func RunProfileBenchJSON(cfg FSConfig, prof workload.Profile, opts ProfileOptions, dir, name string) (BenchReport, string, error) {
+	opts.KeepFS = true
+	res, fs, err := RunProfile(cfg, prof, opts)
+	if err != nil {
+		return BenchReport{}, "", err
+	}
+	snap := fs.Metrics()
+	if err := fs.Unmount(); err != nil {
+		return BenchReport{}, "", err
+	}
+	if name == "" {
+		name = benchSlug(res.Model) + "_" + benchSlug(res.Profile)
+	}
+	rep := buildProfileReport(name, res, snap)
+	path, err := writeReport(rep, dir)
+	if err != nil {
+		return rep, "", err
+	}
+	return rep, path, nil
+}
+
+// StandardProfileOps is the trace length of the CI/SLO profile suite: long
+// enough for stable p99s, short enough for a CI job.
+const StandardProfileOps = 1200
+
+// StandardProfileModel is the evaluation model the SLO suite pins: the
+// paper's recommended deployment shape.
+func StandardProfileModel() FSConfig { return FSConfig{Mode: denova.ModeImmediate} }
+
+// WriteProfileBenchJSON replays every standard profile under the standard
+// model and writes one BENCH_<model>_<profile>.json each into dir.
+func WriteProfileBenchJSON(dir string) ([]BenchReport, []string, error) {
+	var reports []BenchReport
+	var paths []string
+	cfg := StandardProfileModel()
+	for _, prof := range workload.StandardProfiles(StandardProfileOps) {
+		rep, path, err := RunProfileBenchJSON(cfg, prof, ProfileOptions{}, dir, "")
+		if err != nil {
+			return reports, paths, fmt.Errorf("%s/%s: %w", cfg.Label(), prof.Name, err)
+		}
+		reports = append(reports, rep)
+		paths = append(paths, path)
+	}
+	return reports, paths, nil
 }
 
 // WriteStandardBenchJSON runs the standard specs against the standard model

@@ -60,6 +60,97 @@ func TestBenchJSONSmoke(t *testing.T) {
 	}
 }
 
+// TestRunBenchJSONFailurePaths covers the error contract the SLO gate
+// leans on: an unwritable output dir, an empty spec, and a zero-op workload
+// must all surface as errors, never as a silently empty report.
+func TestRunBenchJSONFailurePaths(t *testing.T) {
+	t.Parallel()
+	cfg := FSConfig{Mode: denova.ModeImmediate}
+	okSpec := workload.Spec{Name: "fp", FileSize: 4096, NumFiles: 2, Seed: 1}
+	opts := WriteOptions{Profile: pmem.ProfileZero}
+
+	t.Run("unwritable dir", func(t *testing.T) {
+		t.Parallel()
+		_, _, err := RunBenchJSON(cfg, okSpec, opts, filepath.Join(t.TempDir(), "does", "not", "exist"), "")
+		if err == nil {
+			t.Fatal("missing output dir accepted")
+		}
+	})
+	t.Run("empty spec", func(t *testing.T) {
+		t.Parallel()
+		if _, _, err := RunBenchJSON(cfg, workload.Spec{}, opts, t.TempDir(), ""); err == nil {
+			t.Fatal("zero-value spec accepted")
+		}
+	})
+	t.Run("zero-op workload", func(t *testing.T) {
+		t.Parallel()
+		spec := workload.Spec{Name: "empty", FileSize: 4096, NumFiles: 0}
+		if _, _, err := RunBenchJSON(cfg, spec, opts, t.TempDir(), ""); err == nil {
+			t.Fatal("zero-file workload accepted")
+		}
+	})
+	t.Run("nameless spec with override is fine", func(t *testing.T) {
+		t.Parallel()
+		spec := workload.Spec{FileSize: 4096, NumFiles: 2, Seed: 3}
+		_, path, err := RunBenchJSON(cfg, spec, opts, t.TempDir(), "override")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filepath.Base(path) != "BENCH_override.json" {
+			t.Errorf("path = %s", path)
+		}
+	})
+}
+
+// TestBenchReportGolden pins the BENCH_*.json schema byte for byte against
+// testdata/bench_golden.json. The SLO gate keys on these field names
+// ("ops_per_sec", "profile", "latency.<op>.p99_ns", ...); if this test
+// fails because a field was renamed, slo.json and the gate must move in the
+// same commit.
+func TestBenchReportGolden(t *testing.T) {
+	t.Parallel()
+	rep := BenchReport{
+		Name: "denova-immediate_fileserver", Model: "DeNOVA-Immediate",
+		Workload: "fileserver", Profile: "fileserver",
+		GeneratedAt: "2026-01-02T03:04:05Z",
+		Threads:     2, Files: 40, Bytes: 1 << 20,
+		ElapsedNs: 5_000_000, DrainNs: 1_000_000,
+		OpsPerSec: 240000, MBps: 200, Savings: 0.25, QueuePeak: 64,
+		TotalOps: 1200,
+		OpCounts: map[string]int64{"create": 60, "read": 400, "write": 300},
+		Pmem: PmemCounters{
+			FlushedLines: 10, NTLines: 20, Fences: 30, ReadBytes: 40, WrittenBytes: 50,
+		},
+		Latency: map[string]LatencySummary{
+			"op.read":    {Count: 400, P50Ns: 1000, P95Ns: 2000, P99Ns: 3000, MaxNs: 4000},
+			"nova.write": {Count: 300, P50Ns: 1500, P95Ns: 2500, P99Ns: 3500, MaxNs: 4500},
+		},
+	}
+	dir := t.TempDir()
+	rep.Name = "golden"
+	path, err := writeReport(rep, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "bench_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("BENCH schema drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
 func TestBenchSlug(t *testing.T) {
 	cases := map[string]string{
 		"DeNOVA-Immediate":      "denova-immediate",

@@ -132,6 +132,7 @@ func (o *WriteOptions) fill(spec workload.Spec) {
 // thread count (files are partitioned across threads, fio numjobs style),
 // and reports throughput. The returned FS is non-nil only with KeepFS.
 func RunWrite(cfg FSConfig, spec workload.Spec, opts WriteOptions) (WriteResult, *denova.FS, error) {
+	spec = spec.Normalized()
 	opts.fill(spec)
 	dev := denova.NewDevice(opts.DevSize, opts.Profile)
 	fs, err := denova.Mkfs(dev, cfg.denovaConfig())

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SLO gate: a committed slo.json pins an ops/s floor and per-op p99
+// ceilings for every standard profile; `denova-bench slo` replays the
+// profile suite, compares the fresh BENCH reports against the file (with a
+// noise margin), and exits non-zero on any violation — so the performance
+// trajectory is enforced history, not just archived artifacts.
+//
+// Re-baselining: run `make slo` (or `go run ./cmd/denova-bench slo`) on a
+// quiet machine, inspect the printed measured-vs-bound table, and edit
+// slo.json so floors sit comfortably below and ceilings comfortably above
+// the measured values (the committed file keeps roughly an order of
+// magnitude of slack — the gate exists to catch regressions in kind, not
+// single-digit percent drift, which CI wall clocks cannot resolve).
+
+// SLOEntry is one profile's service-level objectives.
+type SLOEntry struct {
+	// MinOpsPerSec is the replay-throughput floor (0 = no floor).
+	MinOpsPerSec float64 `json:"min_ops_per_sec,omitempty"`
+	// MaxP99Ns maps op names ("op.read", "nova.write", ...) to p99
+	// latency ceilings in nanoseconds. An op listed here must appear in
+	// the report's latency map — a missing histogram is itself a
+	// violation (the gate must not silently pass on renamed ops).
+	MaxP99Ns map[string]int64 `json:"max_p99_ns,omitempty"`
+}
+
+// SLOFile is the schema of the committed slo.json.
+type SLOFile struct {
+	// Margin widens every bound by the given fraction (0.3 = floors may
+	// undershoot by 30 % and ceilings overshoot by 30 % before the gate
+	// trips) — benchmark noise on shared CI runners must not fail builds.
+	Margin float64 `json:"margin"`
+	// Profiles maps profile name → objectives. Every listed profile must
+	// have a matching report; a missing report is a violation.
+	Profiles map[string]SLOEntry `json:"profiles"`
+}
+
+// LoadSLO reads and validates an slo.json.
+func LoadSLO(path string) (SLOFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return SLOFile{}, err
+	}
+	var slo SLOFile
+	if err := json.Unmarshal(raw, &slo); err != nil {
+		return SLOFile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if slo.Margin < 0 || slo.Margin >= 1 {
+		return SLOFile{}, fmt.Errorf("%s: margin %v outside [0, 1)", path, slo.Margin)
+	}
+	if len(slo.Profiles) == 0 {
+		return SLOFile{}, fmt.Errorf("%s: no profiles", path)
+	}
+	return slo, nil
+}
+
+// SLOViolation is one tripped bound.
+type SLOViolation struct {
+	Profile string  // profile name
+	Bound   string  // "ops/s floor" or "<op> p99 ceiling"
+	Limit   float64 // the bound after applying the margin
+	Got     float64 // the measured value (0 when the measurement is missing)
+	Detail  string
+}
+
+func (v SLOViolation) String() string {
+	if v.Detail != "" {
+		return fmt.Sprintf("%s: %s: %s", v.Profile, v.Bound, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s: measured %.0f vs limit %.0f", v.Profile, v.Bound, v.Got, v.Limit)
+}
+
+// CheckSLO compares fresh profile reports against the objectives and
+// returns every violation (empty = gate passes). Reports are matched by
+// their Profile field; non-profile reports are ignored.
+func CheckSLO(slo SLOFile, reports []BenchReport) []SLOViolation {
+	byProfile := map[string]BenchReport{}
+	for _, rep := range reports {
+		if rep.Profile != "" {
+			byProfile[rep.Profile] = rep
+		}
+	}
+	var violations []SLOViolation
+	names := make([]string, 0, len(slo.Profiles))
+	for name := range slo.Profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		entry := slo.Profiles[name]
+		rep, ok := byProfile[name]
+		if !ok {
+			violations = append(violations, SLOViolation{
+				Profile: name, Bound: "report",
+				Detail: "no BENCH report produced for this profile",
+			})
+			continue
+		}
+		if entry.MinOpsPerSec > 0 {
+			floor := entry.MinOpsPerSec * (1 - slo.Margin)
+			if rep.OpsPerSec < floor {
+				violations = append(violations, SLOViolation{
+					Profile: name, Bound: "ops/s floor", Limit: floor, Got: rep.OpsPerSec,
+				})
+			}
+		}
+		ops := make([]string, 0, len(entry.MaxP99Ns))
+		for op := range entry.MaxP99Ns {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			ceil := float64(entry.MaxP99Ns[op]) * (1 + slo.Margin)
+			lat, ok := rep.Latency[op]
+			if !ok || lat.Count == 0 {
+				violations = append(violations, SLOViolation{
+					Profile: name, Bound: op + " p99 ceiling",
+					Detail: "op has no latency samples in the report",
+				})
+				continue
+			}
+			if float64(lat.P99Ns) > ceil {
+				violations = append(violations, SLOViolation{
+					Profile: name, Bound: op + " p99 ceiling", Limit: ceil, Got: float64(lat.P99Ns),
+				})
+			}
+		}
+	}
+	return violations
+}
+
+// RunSLOGate replays the standard profile suite, writes the BENCH_*.json
+// artifacts into dir, and checks them against the SLO file. The returned
+// violations are empty when the gate passes.
+func RunSLOGate(dir, sloPath string) ([]BenchReport, []SLOViolation, error) {
+	slo, err := LoadSLO(sloPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	reports, _, err := WriteProfileBenchJSON(dir)
+	if err != nil {
+		return reports, nil, err
+	}
+	return reports, CheckSLO(slo, reports), nil
+}

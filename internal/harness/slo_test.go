@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"denova"
+	"denova/internal/pmem"
+	"denova/internal/workload"
+)
+
+func sloReport(profile string, opsPerSec float64, p99 map[string]int64) BenchReport {
+	rep := BenchReport{
+		Name: "denova-immediate_" + profile, Model: "DeNOVA-Immediate",
+		Workload: profile, Profile: profile,
+		OpsPerSec: opsPerSec, TotalOps: 1000,
+		Latency: map[string]LatencySummary{},
+	}
+	for op, ns := range p99 {
+		rep.Latency[op] = LatencySummary{Count: 100, P50Ns: ns / 2, P95Ns: ns * 9 / 10, P99Ns: ns, MaxNs: ns * 2}
+	}
+	return rep
+}
+
+func TestCheckSLOCleanPass(t *testing.T) {
+	t.Parallel()
+	slo := SLOFile{
+		Margin: 0.3,
+		Profiles: map[string]SLOEntry{
+			"fileserver": {MinOpsPerSec: 1000, MaxP99Ns: map[string]int64{"op.read": 1_000_000}},
+		},
+	}
+	reports := []BenchReport{sloReport("fileserver", 5000, map[string]int64{"op.read": 200_000})}
+	if v := CheckSLO(slo, reports); len(v) != 0 {
+		t.Fatalf("clean reports tripped the gate: %v", v)
+	}
+}
+
+func TestCheckSLOFloorViolation(t *testing.T) {
+	t.Parallel()
+	slo := SLOFile{Margin: 0.3, Profiles: map[string]SLOEntry{"fileserver": {MinOpsPerSec: 1000}}}
+	// 800 ops/s beats the margin-adjusted floor (700); 500 does not.
+	if v := CheckSLO(slo, []BenchReport{sloReport("fileserver", 800, nil)}); len(v) != 0 {
+		t.Fatalf("within-margin throughput tripped the floor: %v", v)
+	}
+	v := CheckSLO(slo, []BenchReport{sloReport("fileserver", 500, nil)})
+	if len(v) != 1 || !strings.Contains(v[0].String(), "ops/s floor") {
+		t.Fatalf("deliberate floor violation not caught: %v", v)
+	}
+}
+
+func TestCheckSLOCeilingViolation(t *testing.T) {
+	t.Parallel()
+	slo := SLOFile{
+		Margin:   0.3,
+		Profiles: map[string]SLOEntry{"webproxy": {MaxP99Ns: map[string]int64{"op.read": 1_000_000}}},
+	}
+	// 1.2 ms is within margin (ceiling 1.3 ms); 5 ms is not.
+	if v := CheckSLO(slo, []BenchReport{sloReport("webproxy", 0, map[string]int64{"op.read": 1_200_000})}); len(v) != 0 {
+		t.Fatalf("within-margin p99 tripped the ceiling: %v", v)
+	}
+	v := CheckSLO(slo, []BenchReport{sloReport("webproxy", 0, map[string]int64{"op.read": 5_000_000})})
+	if len(v) != 1 || !strings.Contains(v[0].String(), "op.read p99 ceiling") {
+		t.Fatalf("deliberate ceiling violation not caught: %v", v)
+	}
+}
+
+func TestCheckSLOMissingReportAndOp(t *testing.T) {
+	t.Parallel()
+	slo := SLOFile{Profiles: map[string]SLOEntry{
+		"varmail":    {MinOpsPerSec: 1},
+		"fileserver": {MaxP99Ns: map[string]int64{"op.nosuch": 1}},
+	}}
+	v := CheckSLO(slo, []BenchReport{sloReport("fileserver", 100, nil)})
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations (missing report, missing op), got %v", v)
+	}
+}
+
+// TestCommittedSLOParses keeps the repo-root slo.json loadable and aligned
+// with the standard profile suite: every gated profile must actually be one
+// the suite produces.
+func TestCommittedSLOParses(t *testing.T) {
+	t.Parallel()
+	slo, err := LoadSLO(filepath.Join("..", "..", "slo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, p := range workload.StandardProfiles(1) {
+		known[p.Name] = true
+	}
+	for name := range slo.Profiles {
+		if !known[name] {
+			t.Errorf("slo.json gates unknown profile %q", name)
+		}
+	}
+	if len(slo.Profiles) != len(known) {
+		t.Errorf("slo.json gates %d profiles, suite has %d — every profile must be gated",
+			len(slo.Profiles), len(known))
+	}
+}
+
+func TestLoadSLORejectsGarbage(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := LoadSLO(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := LoadSLO(write("bad.json", "{")); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	if _, err := LoadSLO(write("margin.json", `{"margin": 1.5, "profiles": {"x": {}}}`)); err == nil {
+		t.Error("margin >= 1 accepted")
+	}
+	if _, err := LoadSLO(write("empty.json", `{"margin": 0.1, "profiles": {}}`)); err == nil {
+		t.Error("empty profile set accepted")
+	}
+}
+
+// TestSLOGateEndToEnd runs one real (tiny) profile through the BENCH-json
+// path and gates it twice: once against generous objectives (must pass) and
+// once against deliberately impossible ones (must trip) — the library-level
+// proof behind `denova-bench slo`'s exit code.
+func TestSLOGateEndToEnd(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	rep, _, err := RunProfileBenchJSON(
+		FSConfig{Mode: denova.ModeImmediate},
+		tinyProfile(workload.Fileserver(0), 400),
+		ProfileOptions{Threads: 2, Profile: pmem.ProfileZero}, dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := SLOFile{Margin: 0.3, Profiles: map[string]SLOEntry{
+		"fileserver": {MinOpsPerSec: 1, MaxP99Ns: map[string]int64{"op.read": int64(1e12)}},
+	}}
+	if v := CheckSLO(pass, []BenchReport{rep}); len(v) != 0 {
+		t.Fatalf("generous objectives tripped: %v", v)
+	}
+	trip := SLOFile{Margin: 0.3, Profiles: map[string]SLOEntry{
+		"fileserver": {MinOpsPerSec: 1e12, MaxP99Ns: map[string]int64{"op.read": 1}},
+	}}
+	if v := CheckSLO(trip, []BenchReport{rep}); len(v) != 2 {
+		t.Fatalf("impossible objectives produced %d violations, want 2: %v", len(v), v)
+	}
+}

@@ -1,0 +1,63 @@
+package workload
+
+import "testing"
+
+// TestSpecNormalized pins the one-place defaulting contract: every consumer
+// calls Normalized instead of patching fields ad hoc, so the table below is
+// the single source of truth for zero-value behaviour.
+func TestSpecNormalized(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		in   Spec
+		want Spec
+	}{
+		{
+			name: "zero value",
+			in:   Spec{},
+			want: Spec{PoolSize: 16, FileSize: ChunkSize, NumFiles: 0},
+		},
+		{
+			name: "negative fields clamp",
+			in:   Spec{FileSize: -1, NumFiles: -5, PoolSize: -3, DupRatio: -0.5},
+			want: Spec{PoolSize: 16, FileSize: ChunkSize, NumFiles: 0, DupRatio: 0},
+		},
+		{
+			name: "dup ratio above one clamps",
+			in:   Spec{FileSize: 8192, NumFiles: 2, DupRatio: 1.5},
+			want: Spec{PoolSize: 16, FileSize: 8192, NumFiles: 2, DupRatio: 1},
+		},
+		{
+			name: "fully specified is untouched",
+			in:   Spec{Name: "x", FileSize: 4096, NumFiles: 7, DupRatio: 0.5, PoolSize: 4, Zipf: true, Seed: 9},
+			want: Spec{Name: "x", FileSize: 4096, NumFiles: 7, DupRatio: 0.5, PoolSize: 4, Zipf: true, Seed: 9},
+		},
+		{
+			name: "explicit zero files stays empty",
+			in:   Spec{Name: "empty", FileSize: 4096, NumFiles: 0},
+			want: Spec{Name: "empty", PoolSize: 16, FileSize: 4096, NumFiles: 0},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if got := tc.in.Normalized(); got != tc.want {
+				t.Errorf("Normalized(%+v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestGeneratorUsesNormalizedSpec checks NewGenerator routes through
+// Normalized rather than keeping its own defaults.
+func TestGeneratorUsesNormalizedSpec(t *testing.T) {
+	t.Parallel()
+	g := NewGenerator(Spec{Name: "d", NumFiles: 2})
+	if got := g.Spec(); got.PoolSize != 16 || got.FileSize != ChunkSize {
+		t.Fatalf("generator spec not normalized: %+v", got)
+	}
+	if len(g.FileData(0)) != ChunkSize {
+		t.Fatalf("defaulted FileSize not honoured: %d bytes", len(g.FileData(0)))
+	}
+}

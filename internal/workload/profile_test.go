@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// replayModel independently re-models the trace state machine and fails on
+// any op that would not be executable when replayed in per-file order.
+type replayModel struct {
+	t     *testing.T
+	state map[[2]int]*fileState
+}
+
+func newReplayModel(t *testing.T) *replayModel {
+	return &replayModel{t: t, state: map[[2]int]*fileState{}}
+}
+
+func (m *replayModel) apply(i int, op Op) {
+	key := [2]int{op.Tenant, op.File}
+	st := m.state[key]
+	if st == nil {
+		st = &fileState{}
+		m.state[key] = st
+	}
+	switch op.Kind {
+	case OpCreate:
+		if st.exists {
+			m.t.Fatalf("op %d: create of existing file %v", i, key)
+		}
+		st.exists, st.size = true, 0
+	case OpWrite:
+		if !st.exists {
+			m.t.Fatalf("op %d: write to absent file %v", i, key)
+		}
+		if op.Off != 0 || op.Size <= 0 {
+			m.t.Fatalf("op %d: write off=%d size=%d", i, op.Off, op.Size)
+		}
+		if op.Size > st.size {
+			st.size = op.Size
+		}
+	case OpAppend:
+		if !st.exists {
+			m.t.Fatalf("op %d: append to absent file %v", i, key)
+		}
+		if op.Off != st.size {
+			m.t.Fatalf("op %d: append at %d, file %v end is %d", i, op.Off, key, st.size)
+		}
+		if op.Size <= 0 {
+			m.t.Fatalf("op %d: append size %d", i, op.Size)
+		}
+		st.size += op.Size
+	case OpRead:
+		if !st.exists {
+			m.t.Fatalf("op %d: read of absent file %v", i, key)
+		}
+		if op.Off < 0 || op.Size <= 0 || op.Off+op.Size > st.size {
+			m.t.Fatalf("op %d: read [%d,%d) outside file %v size %d",
+				i, op.Off, op.Off+op.Size, key, st.size)
+		}
+	case OpStat:
+		if !st.exists {
+			m.t.Fatalf("op %d: stat of absent file %v", i, key)
+		}
+		if op.Size != st.size {
+			m.t.Fatalf("op %d: stat size %d, model says %d", i, op.Size, st.size)
+		}
+	case OpDelete:
+		if !st.exists {
+			m.t.Fatalf("op %d: delete of absent file %v", i, key)
+		}
+		st.exists = false
+	case OpTruncate:
+		if !st.exists {
+			m.t.Fatalf("op %d: truncate of absent file %v", i, key)
+		}
+		if op.Size < 0 || op.Size >= st.size {
+			m.t.Fatalf("op %d: truncate to %d, file %v size %d (must shrink)",
+				i, op.Size, key, st.size)
+		}
+		st.size = op.Size
+	default:
+		m.t.Fatalf("op %d: unknown kind %d", i, op.Kind)
+	}
+}
+
+func TestTraceByteIdenticalPerProfile(t *testing.T) {
+	t.Parallel()
+	for _, p := range StandardProfiles(2000) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			a := EncodeOps(p.Ops())
+			b := EncodeOps(p.Ops())
+			if !bytes.Equal(a, b) {
+				t.Fatal("same profile produced two different op streams")
+			}
+			p2 := p
+			p2.Seed++
+			if bytes.Equal(a, EncodeOps(p2.Ops())) {
+				t.Fatal("different seed produced an identical op stream")
+			}
+			if len(a) == 0 {
+				t.Fatal("empty trace")
+			}
+		})
+	}
+}
+
+func TestTraceValidAndComplete(t *testing.T) {
+	t.Parallel()
+	for _, p := range StandardProfiles(3000) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			ops := p.Ops()
+			norm := p.Normalized()
+			if len(ops) != norm.NumOps {
+				t.Fatalf("trace length %d, want NumOps %d", len(ops), norm.NumOps)
+			}
+			m := newReplayModel(t)
+			counts := map[OpKind]int{}
+			for i, op := range ops {
+				if op.Tenant < 0 || op.Tenant >= norm.Tenants {
+					t.Fatalf("op %d: tenant %d out of range", i, op.Tenant)
+				}
+				if op.File < 0 || op.File >= norm.FilesPerTenant {
+					t.Fatalf("op %d: file %d out of range", i, op.File)
+				}
+				m.apply(i, op)
+				counts[op.Kind]++
+			}
+			// Every weighted kind (plus the implicit creates) must appear in
+			// a 3000-op trace.
+			want := []OpKind{OpCreate, OpRead}
+			if norm.Mix.Write > 0 {
+				want = append(want, OpWrite)
+			}
+			if norm.Mix.Append > 0 {
+				want = append(want, OpAppend)
+			}
+			if norm.Mix.Delete > 0 {
+				want = append(want, OpDelete)
+			}
+			for _, k := range want {
+				if counts[k] == 0 {
+					t.Errorf("no %v ops in %d-op trace (counts %v)", k, len(ops), counts)
+				}
+			}
+		})
+	}
+}
+
+func TestMultitenantSpansTenants(t *testing.T) {
+	t.Parallel()
+	p := Multitenant(2000, 4)
+	seen := map[int]bool{}
+	for _, op := range p.Ops() {
+		seen[op.Tenant] = true
+	}
+	for k := 0; k < 4; k++ {
+		if !seen[k] {
+			t.Errorf("tenant %d never touched", k)
+		}
+	}
+	if p.Path(1, 3) == p.Path(2, 3) {
+		t.Error("distinct tenants share a path")
+	}
+	if dir := p.TenantDir(2); dir == "" || dir == p.TenantDir(1) {
+		t.Errorf("tenant dirs not distinct: %q vs %q", p.TenantDir(1), dir)
+	}
+	if single := Fileserver(10); single.TenantDir(0) != "" {
+		t.Error("single-tenant profile should use the root namespace")
+	}
+}
+
+func TestBackupIngestVerifiesEveryWrite(t *testing.T) {
+	t.Parallel()
+	p := BackupIngest(1500)
+	ops := p.Ops()
+	for i, op := range ops {
+		if op.Kind != OpWrite && op.Kind != OpAppend {
+			continue
+		}
+		if i+1 >= len(ops) {
+			break // a trailing write's verify may fall past the op budget
+		}
+		next := ops[i+1]
+		if next.Kind != OpRead || next.Tenant != op.Tenant || next.File != op.File ||
+			next.Off != op.Off || next.Size != op.Size {
+			t.Fatalf("op %d (%v of [%d,%d)) not followed by its verify read (got %v [%d,%d) file %d)",
+				i, op.Kind, op.Off, op.Off+op.Size, next.Kind, next.Off, next.Off+next.Size, next.File)
+		}
+	}
+}
+
+func TestZipfFilesSkewsPopularity(t *testing.T) {
+	t.Parallel()
+	p := Webproxy(4000)
+	counts := map[int]int{}
+	for _, op := range p.Ops() {
+		counts[op.File]++
+	}
+	max, total := 0, 0
+	for _, n := range counts {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	uniform := total / p.Normalized().FilesPerTenant
+	if max < 4*uniform {
+		t.Fatalf("hottest file got %d ops, uniform share is %d — zipf skew missing", max, uniform)
+	}
+}
+
+func TestPayloadDeterministicAndSized(t *testing.T) {
+	t.Parallel()
+	p := Fileserver(0)
+	g1, g2 := p.NewPayloadGen(), p.NewPayloadGen()
+	ops := []Op{
+		{Kind: OpWrite, Tenant: 0, File: 3, Size: 3*ChunkSize - 100, Vers: 2},
+		{Kind: OpAppend, Tenant: 1, File: 3, Off: 8192, Size: ChunkSize, Vers: 7},
+		{Kind: OpWrite, File: 0, Size: 10, Vers: 1}, // sub-stamp-size chunk
+	}
+	for _, op := range ops {
+		a, b := g1.Data(op), g2.Data(op)
+		if int64(len(a)) != op.Size {
+			t.Fatalf("payload len %d, want %d", len(a), op.Size)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatal("payload not deterministic across generators")
+		}
+	}
+	// Distinct versions of the same file must differ.
+	a := g1.Data(Op{Kind: OpWrite, File: 5, Size: 4 * ChunkSize, Vers: 1})
+	b := g1.Data(Op{Kind: OpWrite, File: 5, Size: 4 * ChunkSize, Vers: 2})
+	if bytes.Equal(a, b) {
+		t.Fatal("different versions produced identical payloads")
+	}
+}
+
+func TestPayloadDupRatioMaterializes(t *testing.T) {
+	t.Parallel()
+	p := BackupIngest(0) // DupRatio 0.75
+	g := p.NewPayloadGen()
+	dup, total := 0, 0
+	seen := map[string]int{}
+	for v := uint32(1); v <= 50; v++ {
+		data := g.Data(Op{Kind: OpAppend, File: 1, Size: 4 * ChunkSize, Vers: v})
+		for c := 0; c+ChunkSize <= len(data); c += ChunkSize {
+			seen[string(data[c:c+ChunkSize])]++
+			total++
+		}
+	}
+	for _, n := range seen {
+		dup += n - 1
+	}
+	got := float64(dup) / float64(total)
+	if got < 0.6 || got > 0.9 {
+		t.Fatalf("realized dup ratio %.3f for dial 0.75 (%d/%d)", got, dup, total)
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFileDataConcurrentDeterministic is the generator's concurrency
+// property test: for every Spec shape (Zipf on/off, PoolSize defaulted and
+// explicit, aligned and ragged file sizes), FileData must be pure — many
+// goroutines calling it concurrently for overlapping indices always get the
+// bytes a serial caller gets. Run under -race (make race / CI) this also
+// proves the generator shares no mutable state across callers.
+func TestFileDataConcurrentDeterministic(t *testing.T) {
+	t.Parallel()
+	shapes := []Spec{
+		{Name: "default-pool", FileSize: 8192, NumFiles: 8, DupRatio: 0.5, Seed: 1},
+		{Name: "tiny-pool", FileSize: 4096, NumFiles: 8, DupRatio: 0.9, PoolSize: 2, Seed: 2},
+		{Name: "zipf", FileSize: 16384, NumFiles: 8, DupRatio: 0.7, PoolSize: 32, Zipf: true, Seed: 3},
+		{Name: "ragged", FileSize: 10000, NumFiles: 8, DupRatio: 0.25, Seed: 4},
+		{Name: "zero-value-ish", NumFiles: 4, Seed: 5}, // FileSize/PoolSize defaulted
+	}
+	for _, spec := range shapes {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			g := NewGenerator(spec)
+			n := g.Spec().NumFiles
+			want := make([][]byte, n)
+			for i := 0; i < n; i++ {
+				want[i] = g.FileData(i)
+			}
+			const goroutines = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for w := 0; w < goroutines; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for rep := 0; rep < 4; rep++ {
+						i := (w + rep) % n
+						if !bytes.Equal(g.FileData(i), want[i]) {
+							errs <- fmt.Errorf("goroutine %d: file %d differs from serial result", w, i)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDupRatioTracksDialSmallWorkloads pins the PoolSize-16 design point:
+// for small (few-hundred-chunk) workloads the realized duplicate ratio must
+// track the dial within tolerance, across Zipf on/off and the default and
+// an explicit pool.
+func TestDupRatioTracksDialSmallWorkloads(t *testing.T) {
+	t.Parallel()
+	for _, zipf := range []bool{false, true} {
+		for _, pool := range []int{0, 16} { // 0 = defaulted
+			for _, ratio := range []float64{0.25, 0.5, 0.75} {
+				spec := Spec{
+					Name:     fmt.Sprintf("z%v-p%d-r%v", zipf, pool, ratio),
+					FileSize: 4 * ChunkSize, NumFiles: 100, // 400 chunks
+					DupRatio: ratio, PoolSize: pool, Zipf: zipf,
+					Seed: int64(100*ratio) + int64(pool),
+				}
+				g := NewGenerator(spec)
+				seen := map[[20]byte]int{}
+				total := 0
+				for i := 0; i < spec.NumFiles; i++ {
+					data := g.FileData(i)
+					for c := 0; c+ChunkSize <= len(data); c += ChunkSize {
+						seen[sha1.Sum(data[c:c+ChunkSize])]++
+						total++
+					}
+				}
+				dup := 0
+				for _, n := range seen {
+					dup += n - 1
+				}
+				got := float64(dup) / float64(total)
+				// Tolerance: binomial noise on a few hundred chunks plus the
+				// pool's first occurrences (up to PoolSize chunks are "spent"
+				// introducing each hot chunk).
+				if got < ratio-0.1 || got > ratio+0.05 {
+					t.Errorf("%s: realized dup ratio %.3f for dial %.2f (%d/%d)",
+						spec.Name, got, ratio, dup, total)
+				}
+			}
+		}
+	}
+}

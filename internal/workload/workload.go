@@ -54,6 +54,33 @@ func Large(numFiles int, dupRatio float64) Spec {
 // TotalBytes is the logical volume the workload writes.
 func (s Spec) TotalBytes() int64 { return int64(s.FileSize) * int64(s.NumFiles) }
 
+// Normalized returns the spec with every defaulted or out-of-range field
+// resolved, so that all consumers (generator, harness, bench reports) agree
+// on one canonical shape instead of defaulting ad hoc at call sites:
+//
+//   - PoolSize <= 0 becomes the documented default of 16
+//   - FileSize <= 0 becomes one chunk (4 KB)
+//   - NumFiles < 0 becomes 0 (an explicitly empty workload stays empty —
+//     RunBenchJSON and friends reject it rather than inventing files)
+//   - DupRatio is clamped to [0, 1]
+func (s Spec) Normalized() Spec {
+	if s.PoolSize <= 0 {
+		s.PoolSize = 16
+	}
+	if s.FileSize <= 0 {
+		s.FileSize = ChunkSize
+	}
+	if s.NumFiles < 0 {
+		s.NumFiles = 0
+	}
+	if s.DupRatio < 0 {
+		s.DupRatio = 0
+	} else if s.DupRatio > 1 {
+		s.DupRatio = 1
+	}
+	return s
+}
+
 // Generator produces deterministic file contents for a Spec. It is safe
 // for concurrent use: FileData derives everything from (Seed, index).
 type Generator struct {
@@ -63,9 +90,7 @@ type Generator struct {
 
 // NewGenerator builds the duplicate pool and returns a generator.
 func NewGenerator(spec Spec) *Generator {
-	if spec.PoolSize <= 0 {
-		spec.PoolSize = 16
-	}
+	spec = spec.Normalized()
 	g := &Generator{spec: spec}
 	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5EED))
 	g.pool = make([][]byte, spec.PoolSize)
