@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race torture bench bench-recovery bench-json slo clean
+.PHONY: all build lint vet test race torture bench bench-recovery bench-json slo serve-smoke clean
 
 all: build lint test
 
@@ -54,6 +54,15 @@ bench-json:
 # on any violation. Re-baseline by editing slo.json — see DESIGN.md §5.5.
 slo:
 	$(GO) run ./cmd/denova-bench slo
+
+# serve-smoke = the network serving layer's end-to-end gate: start
+# denova-serve on an ephemeral loopback port, replay a workload profile
+# through the wire client (content oracle on every read), scrape /metrics
+# for the serve.op.* latency histograms, and assert a clean shutdown —
+# plus the loopback profile replays under the race detector.
+serve-smoke:
+	$(GO) test -race -run 'TestServeSmoke|TestServeImageRoundTrip' -v ./cmd/denova-serve/
+	$(GO) test -race -run 'TestRunProfileOverServer' -v ./internal/harness/
 
 clean:
 	$(GO) clean ./...

@@ -70,6 +70,20 @@ func parseMode(s string) (denova.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", s)
 }
 
+// fmtBytes renders a byte count with a binary suffix (parseSize's inverse,
+// for display only).
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	}
+	return strconv.FormatInt(n, 10)
+}
+
 // parseSize parses a device size like "4096", "64K", "256M" or "1G"
 // (suffixes also accepted lowercase). Malformed, empty, zero, negative and
 // overflowing sizes are rejected with a descriptive error.
@@ -469,7 +483,10 @@ func main() {
 	case "stats":
 		fs, _ := mount()
 		st := fs.Stats()
+		snap := fs.StatsSnapshot()
 		fmt.Printf("mode:            %s\n", fs.Mode())
+		fmt.Printf("geometry:        %s device, %s FACT, %s data\n",
+			fmtBytes(snap.Geometry.DeviceBytes), fmtBytes(snap.Geometry.FactBytes), fmtBytes(snap.Geometry.DataBytes))
 		fmt.Printf("data blocks:     %d total, %d free\n", st.Space.TotalBlocks, st.Space.FreeBlocks)
 		fmt.Printf("logical pages:   %d\n", st.Space.LogicalPages)
 		fmt.Printf("physical pages:  %d\n", st.Space.PhysicalPages)
@@ -478,11 +495,11 @@ func main() {
 			st.Dedup.EntriesProcessed, st.Dedup.PagesDuplicate, st.Dedup.PagesUnique)
 		fmt.Printf("FACT:            %d lookups (avg walk %.2f), %d inserts, %d reorders\n",
 			st.Fact.Lookups, st.Fact.AvgWalk(), st.Fact.Inserts, st.Fact.Reorders)
-		if len(st.Queue.Shards) > 0 {
+		if len(snap.Queue.Shards) > 0 {
 			fmt.Printf("queue:           %d queued (peak %d), %d enq / %d deq, shard depths %v\n",
-				st.Queue.Len, st.Queue.Peak, st.Queue.Enqueued, st.Queue.Dequeued, st.Queue.Shards)
+				snap.Queue.Len, snap.Queue.Peak, snap.Queue.Enqueued, snap.Queue.Dequeued, snap.Queue.Shards)
 		}
-		for i, w := range st.Workers {
+		for i, w := range snap.Workers {
 			fmt.Printf("worker %-2d:       %d batches, %d nodes, %s busy\n",
 				i, w.Batches, w.Nodes, time.Duration(w.BusyNs))
 		}

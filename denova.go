@@ -360,44 +360,22 @@ func (f *FS) ForceGC(name string) (int, error) {
 	return f.fs.ForceThoroughGC(in), nil
 }
 
-// QueueLen returns the current DWQ length.
-func (f *FS) QueueLen() int {
-	if f.engine == nil {
-		return 0
-	}
-	return f.engine.DWQ().Len()
-}
+// Deprecated: use StatsSnapshot().Queue.Len.
+func (f *FS) QueueLen() int { return f.StatsSnapshot().Queue.Len }
 
-// QueuePeak returns the largest DWQ length observed — the queue's DRAM
-// high-water mark (§V-B2).
-func (f *FS) QueuePeak() int {
-	if f.engine == nil {
-		return 0
-	}
-	return f.engine.DWQ().Peak()
-}
+// Deprecated: use StatsSnapshot().Queue.Peak.
+func (f *FS) QueuePeak() int { return f.StatsSnapshot().Queue.Peak }
 
-// QueueShardLens returns the DWQ's per-shard depths (nil outside the
-// offline dedup modes).
-func (f *FS) QueueShardLens() []int {
-	if f.engine == nil {
-		return nil
-	}
-	return f.engine.DWQ().ShardLens()
-}
+// Deprecated: use StatsSnapshot().Queue.Shards.
+func (f *FS) QueueShardLens() []int { return f.StatsSnapshot().Queue.Shards }
 
-// WorkerStats returns per-worker dedup activity (nil when no daemon runs).
-func (f *FS) WorkerStats() []dedup.WorkerStat {
-	if f.daemon == nil {
-		return nil
-	}
-	return f.daemon.WorkerStats()
-}
+// Deprecated: use StatsSnapshot().Workers.
+func (f *FS) WorkerStats() []dedup.WorkerStat { return f.StatsSnapshot().Workers }
 
-// Geometry exposes the on-device region sizes for overhead reporting.
+// Deprecated: use StatsSnapshot().Geometry.
 func (f *FS) Geometry() (deviceBytes, factBytes, dataBytes int64) {
-	g := f.fs.Geo
-	return g.DevSize, g.FactPages * 4096, g.NumDataBlocks * 4096
+	g := f.StatsSnapshot().Geometry
+	return g.DeviceBytes, g.FactBytes, g.DataBytes
 }
 
 // SetLingerHook observes each DWQ node's queue residence time (Fig. 10).

@@ -1,0 +1,160 @@
+package denova
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestErrorTaxonomyTable is the regression gate for the not-found audit:
+// every name-based API reports a missing path as ErrNotFound (never a
+// bespoke string or a nil result), and the rest of the taxonomy is
+// errors.Is-dispatchable.
+func TestErrorTaxonomyTable(t *testing.T) {
+	t.Parallel()
+	fs, err := Mkfs(NewDevice(32<<20, ProfileZero), Config{Mode: ModeImmediate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Unmount()
+	if _, err := fs.Create("plain"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("dir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("dir/child"); err != nil {
+		t.Fatal(err)
+	}
+
+	do := map[string]func(path string) error{
+		"open":    func(p string) error { _, err := fs.Open(p); return err },
+		"remove":  func(p string) error { return fs.Remove(p) },
+		"list":    func(p string) error { _, err := fs.List(p); return err },
+		"forcegc": func(p string) error { _, err := fs.ForceGC(p); return err },
+		"lookup":  func(p string) error { _, _, err := fs.Lookup(p); return err },
+		"mkdir":   func(p string) error { return fs.Mkdir(p) },
+		"rmdir":   func(p string) error { return fs.Rmdir(p) },
+		"create":  func(p string) error { _, err := fs.Create(p); return err },
+	}
+
+	cases := []struct {
+		op   string
+		path string
+		want error
+	}{
+		// A missing path is ErrNotFound everywhere, whether the leaf or an
+		// intermediate component is what's absent.
+		{"open", "nope", ErrNotFound},
+		{"open", "dir/nope", ErrNotFound},
+		{"open", "missing/leaf", ErrNotFound},
+		{"remove", "nope", ErrNotFound},
+		{"remove", "missing/leaf", ErrNotFound},
+		{"list", "nope", ErrNotFound},
+		{"list", "missing/deeper", ErrNotFound},
+		{"forcegc", "nope", ErrNotFound},
+		{"forcegc", "dir/nope", ErrNotFound},
+		{"lookup", "nope", ErrNotFound},
+		{"rmdir", "nope", ErrNotFound},
+		{"mkdir", "missing/child", ErrNotFound},
+		{"create", "missing/child", ErrNotFound},
+
+		// A file used as a directory is ErrNotDir, not not-found.
+		{"open", "plain/sub", ErrNotDir},
+		{"list", "plain", ErrNotDir},
+		{"create", "plain/sub", ErrNotDir},
+		{"rmdir", "plain", ErrNotDir},
+
+		// Kind mismatches and occupancy.
+		{"remove", "dir", ErrIsDir},
+		{"rmdir", "dir", ErrNotEmpty},
+		{"create", "plain", ErrExists},
+		{"mkdir", "dir", ErrExists},
+
+		// Malformed paths are ErrInvalid, not ErrNotFound.
+		{"open", "a//b", ErrInvalid},
+		{"open", ".", ErrInvalid},
+		{"list", "x/../y", ErrInvalid},
+		{"remove", "a//b", ErrInvalid},
+	}
+	for _, tc := range cases {
+		err := do[tc.op](tc.path)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s(%q) = %v, want errors.Is(%v)", tc.op, tc.path, err, tc.want)
+		}
+	}
+
+	// Data-plane taxonomy: negative offsets and stale handles.
+	f, err := fs.Open("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(make([]byte, 4), -1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("ReadAt(-1) = %v, want ErrInvalid", err)
+	}
+	if _, err := f.WriteAt([]byte("x"), -1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("WriteAt(-1) = %v, want ErrInvalid", err)
+	}
+	if err := f.Truncate(-1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("Truncate(-1) = %v, want ErrInvalid", err)
+	}
+	h := f.Handle()
+	if err := fs.Remove("plain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.FileByHandle(h); !errors.Is(err, ErrStaleHandle) {
+		t.Errorf("FileByHandle(stale) = %v, want ErrStaleHandle", err)
+	}
+}
+
+// TestHandleAPIRoundTrip exercises the public handle surface: Lookup and
+// Create issue handles, FileByHandle reopens, and content addressed by
+// handle matches content addressed by path.
+func TestHandleAPIRoundTrip(t *testing.T) {
+	t.Parallel()
+	fs, err := Mkfs(NewDevice(32<<20, ProfileZero), Config{Mode: ModeImmediate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Unmount()
+	f, err := fs.Create("dirless")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("payload"), 0); err != nil {
+		t.Fatal(err)
+	}
+	h, info, err := fs.Lookup("dirless")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != f.Handle() {
+		t.Fatalf("Lookup handle %#x != Create handle %#x", h, f.Handle())
+	}
+	if info.Name != "dirless" || info.Size != 7 || info.IsDir {
+		t.Fatalf("Lookup info = %+v", info)
+	}
+	re, err := fs.FileByHandle(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if n, err := re.ReadAt(buf, 0); err != nil || string(buf[:n]) != "payload" {
+		t.Fatalf("ReadAt via handle = %q, %v", buf[:n], err)
+	}
+
+	// Directory handles resolve and stat, and data ops on them fail IsDir.
+	if err := fs.Mkdir("d"); err != nil {
+		t.Fatal(err)
+	}
+	dh, dinfo, err := fs.Lookup("d")
+	if err != nil || !dinfo.IsDir {
+		t.Fatalf("Lookup(dir) = %+v, %v", dinfo, err)
+	}
+	dir, err := fs.FileByHandle(dh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.WriteAt([]byte("x"), 0); !errors.Is(err, ErrIsDir) {
+		t.Errorf("write to dir handle = %v, want ErrIsDir", err)
+	}
+}

@@ -2,23 +2,27 @@ package denova
 
 import (
 	"fmt"
+	"strings"
 
 	"denova/internal/nova"
 )
 
-// File is a handle to a regular file. Handles stay valid until the file is
-// removed or the file system is unmounted.
+// File is an open reference to a regular file. Files stay valid until the
+// file is removed or the file system is unmounted.
 type File struct {
 	fs   *FS
 	in   *nova.Inode
 	name string
 }
 
-// ErrExist mirrors the underlying file-system error for existing names.
-var ErrExist = nova.ErrExist
-
-// ErrNotExist mirrors the underlying file-system error for missing names.
-var ErrNotExist = nova.ErrNotExist
+// Handle is a stable 64-bit reference to a file or directory, backed by
+// inode identity (inode number + slot generation), not the path string. A
+// handle issued by Lookup, Create or File.Handle keeps resolving until the
+// file is deleted — renames of ancestors or slot reuse cannot redirect it —
+// and survives a clean unmount/remount. Resolving a deleted file's handle
+// fails with ErrStaleHandle. The serving layer resolves paths to handles
+// once and runs all data ops handle-based (see internal/server).
+type Handle uint64
 
 // Create makes a new empty file.
 func (f *FS) Create(name string) (*File, error) {
@@ -57,12 +61,39 @@ func (f *FS) List(path string) ([]string, error) { return f.fs.NamesAt(path) }
 // Names lists the root directory contents.
 func (f *FS) Names() []string { return f.fs.Names() }
 
-// Errors surfaced by namespace operations.
-var (
-	ErrNotDir   = nova.ErrNotDir
-	ErrIsDir    = nova.ErrIsDir
-	ErrNotEmpty = nova.ErrNotEmpty
-)
+// Lookup resolves a path (file or directory) to its stable handle and
+// current metadata, without opening it. This is the serving layer's
+// LOOKUP: resolve once, then address the object by handle.
+func (f *FS) Lookup(path string) (Handle, FileInfo, error) {
+	in, err := f.fs.Lookup(path)
+	if err != nil {
+		return 0, FileInfo{}, err
+	}
+	return Handle(in.Handle()), infoOf(in, leafOf(path)), nil
+}
+
+// FileByHandle reopens a file (or directory, for Stat) from its handle.
+// Fails with ErrStaleHandle when the object has been deleted since the
+// handle was issued.
+func (f *FS) FileByHandle(h Handle) (*File, error) {
+	in, err := f.fs.ResolveHandle(uint64(h))
+	if err != nil {
+		return nil, err
+	}
+	return &File{fs: f, in: in}, nil
+}
+
+// Handle returns the file's stable handle.
+func (fl *File) Handle() Handle { return Handle(fl.in.Handle()) }
+
+// leafOf returns the last component of a slash path ("" for the root).
+func leafOf(path string) string {
+	trimmed := strings.Trim(path, "/")
+	if i := strings.LastIndexByte(trimmed, '/'); i >= 0 {
+		return trimmed[i+1:]
+	}
+	return trimmed
+}
 
 // Name returns the file's name.
 func (fl *File) Name() string { return fl.name }
@@ -75,7 +106,7 @@ func (fl *File) Size() int64 { return int64(fl.in.Size()) }
 // call: either the whole entry commits or none of it is visible).
 func (fl *File) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
-		return 0, fmt.Errorf("denova: negative offset")
+		return 0, fmt.Errorf("write at %d: negative offset: %w", off, ErrInvalid)
 	}
 	fs := fl.fs
 	switch fs.cfg.Mode {
@@ -101,7 +132,7 @@ func (fl *File) WriteAt(p []byte, off int64) (int, error) {
 // bytes read (short reads happen only at end of file).
 func (fl *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
-		return 0, fmt.Errorf("denova: negative offset")
+		return 0, fmt.Errorf("read at %d: negative offset: %w", off, ErrInvalid)
 	}
 	return fl.fs.fs.Read(fl.in, uint64(off), p)
 }
@@ -117,16 +148,19 @@ type FileInfo struct {
 	IsDir bool
 }
 
-// Stat returns the file's metadata.
-func (fl *File) Stat() FileInfo {
-	ctime, mtime := fl.in.Times()
+// Stat returns the file's metadata. The Name is empty for files reopened
+// through FileByHandle (handles carry identity, not paths).
+func (fl *File) Stat() FileInfo { return infoOf(fl.in, fl.name) }
+
+func infoOf(in *nova.Inode, name string) FileInfo {
+	ctime, mtime := in.Times()
 	return FileInfo{
-		Name:  fl.name,
-		Size:  fl.Size(),
-		Pages: fl.in.PageCount(),
+		Name:  name,
+		Size:  int64(in.Size()),
+		Pages: in.PageCount(),
 		Ctime: ctime,
 		Mtime: mtime,
-		IsDir: fl.in.IsDir(),
+		IsDir: in.IsDir(),
 	}
 }
 
@@ -135,7 +169,7 @@ func (fl *File) Stat() FileInfo {
 // counts); growing extends the file with a hole that reads as zeros.
 func (fl *File) Truncate(size int64) error {
 	if size < 0 {
-		return fmt.Errorf("denova: negative size")
+		return fmt.Errorf("truncate to %d: negative size: %w", size, ErrInvalid)
 	}
 	flag := uint8(nova.FlagNone)
 	if fl.fs.cfg.Mode == ModeImmediate || fl.fs.cfg.Mode == ModeDelayed {

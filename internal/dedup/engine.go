@@ -175,7 +175,14 @@ func (e *Engine) ProcessEntry(node Node) bool {
 	defer in.Unlock()
 
 	// Validate the node against the live log: the inode slot or the log
-	// page could have been reused since enqueue.
+	// page could have been reused since enqueue. The ownership check must
+	// come first — a reclaimed page may already belong to another inode,
+	// whose appends are synchronized by a different lock, so even reading
+	// its bytes here would be a data race.
+	if !in.OwnsEntry(node.EntryOff) {
+		atomic.AddInt64(&e.stats.EntriesSkipped, 1)
+		return finish(false)
+	}
 	if nova.DedupeFlagOf(e.fs.Dev, node.EntryOff) != nova.FlagNeeded {
 		atomic.AddInt64(&e.stats.EntriesSkipped, 1)
 		return finish(false)

@@ -130,7 +130,7 @@ func RunBenchJSON(cfg FSConfig, spec workload.Spec, opts WriteOptions, dir, name
 		return BenchReport{}, "", err
 	}
 	snap := fs.Metrics()
-	queuePeak := fs.QueuePeak()
+	queuePeak := fs.StatsSnapshot().Queue.Peak
 	if err := fs.Unmount(); err != nil {
 		return BenchReport{}, "", err
 	}

@@ -46,8 +46,9 @@ func MeasureOverhead(cfg FSConfig, spec workload.Spec, opts WriteOptions) (Overh
 		return OverheadReport{}, err
 	}
 	defer fs.Unmount()
-	devBytes, factBytes, dataBytes := fs.Geometry()
-	peak := fs.QueuePeak()
+	snap := fs.StatsSnapshot()
+	devBytes, factBytes, dataBytes := snap.Geometry.DeviceBytes, snap.Geometry.FactBytes, snap.Geometry.DataBytes
+	peak := snap.Queue.Peak
 	blocks := devBytes / 4096
 	rep := OverheadReport{
 		Model:        cfg.Label(),

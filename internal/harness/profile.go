@@ -284,7 +284,7 @@ func RunProfile(cfg FSConfig, prof workload.Profile, opts ProfileOptions) (Profi
 		Elapsed: elapsed,
 		Drain:   drain,
 		Savings: fs.Stats().Space.Savings(),
-		QueuePeak: fs.QueuePeak(),
+		QueuePeak: fs.StatsSnapshot().Queue.Peak,
 		Dev:     dev.Stats().Sub(devBefore),
 		OpCounts: map[string]int64{},
 		Latency:  map[string]obs.HistogramStats{},

@@ -1,0 +1,375 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"denova"
+	"denova/internal/obs"
+	"denova/internal/pmem"
+	"denova/internal/server"
+	"denova/internal/server/client"
+	"denova/internal/server/wire"
+	"denova/internal/workload"
+)
+
+// Network replay: RunProfileOverServer is RunProfile's twin that drives the
+// same workload.Profile op trace through denova-serve's wire protocol over
+// loopback TCP instead of the in-process API. Same partitioning (ops
+// sharded by file so per-file trace order holds), same content oracle on
+// every read, same quiesced end-state verification — but every op crosses
+// the codec, the admission controller, and the op scheduler. It is the
+// serving layer's end-to-end correctness gate.
+
+// ServeProfileOptions tunes a networked profile run.
+type ServeProfileOptions struct {
+	// Threads is the replay client-goroutine count; each dials its own
+	// connection. Default 2.
+	Threads int
+	// DevSize overrides the device size (default: sized from the trace).
+	DevSize int64
+	// Profile selects the device latency model (default Optane).
+	Profile pmem.LatencyProfile
+	// Server tunes the serving layer (zero value = server defaults). Tiny
+	// MaxInflight/QueueDepth values make the run exercise shed-and-retry.
+	Server server.Config
+}
+
+// ServeProfileResult is one networked run's measurement.
+type ServeProfileResult struct {
+	Model   string
+	Profile string
+	Threads int
+	Ops     int64
+	Elapsed time.Duration
+	Bytes   int64 // bytes written over the wire
+	Read    int64 // bytes read back over the wire
+	Savings float64
+	Shed    int64 // admission-control sheds absorbed by client retries
+	// OpLatency holds the server-side serve.op.<name> histograms.
+	OpLatency map[string]obs.HistogramStats
+	// Oracle is the expected end content of every live file.
+	Oracle map[string][]byte
+}
+
+// serveWorker is one replay goroutine: its own connection, the handles and
+// oracle for the file slots it owns (partitioned by fileKey % threads, as
+// in RunProfile, so no cross-goroutine state).
+type serveWorker struct {
+	cl      *client.Client
+	prof    workload.Profile
+	handles map[int]denova.Handle
+	oracle  map[int][]byte
+	bytesW  int64
+	bytesR  int64
+}
+
+func (w *serveWorker) run(op workload.Op, payload []byte) error {
+	key := op.Tenant*w.prof.FilesPerTenant + op.File
+	path := w.prof.Path(op.Tenant, op.File)
+	switch op.Kind {
+	case workload.OpCreate:
+		h, err := w.cl.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		w.handles[key] = h
+		w.oracle[key] = nil
+	case workload.OpWrite, workload.OpAppend:
+		h, ok := w.handles[key]
+		if !ok {
+			return fmt.Errorf("%v %s: no handle (trace order broken?)", op.Kind, path)
+		}
+		n, err := w.cl.Write(h, uint64(op.Off), payload)
+		if err != nil {
+			return fmt.Errorf("%v %s@%d: %w", op.Kind, path, op.Off, err)
+		}
+		if n != len(payload) {
+			return fmt.Errorf("%v %s@%d: wrote %d of %d", op.Kind, path, op.Off, n, len(payload))
+		}
+		w.bytesW += int64(n)
+		cur := w.oracle[key]
+		if need := op.Off + int64(len(payload)); int64(len(cur)) < need {
+			grown := make([]byte, need)
+			copy(grown, cur)
+			cur = grown
+		}
+		copy(cur[op.Off:], payload)
+		w.oracle[key] = cur
+	case workload.OpRead:
+		h, ok := w.handles[key]
+		if !ok {
+			return fmt.Errorf("read %s: no handle", path)
+		}
+		data, err := w.cl.Read(h, uint64(op.Off), uint32(op.Size))
+		if err != nil {
+			return fmt.Errorf("read %s@%d: %w", path, op.Off, err)
+		}
+		w.bytesR += int64(len(data))
+		want := w.oracle[key]
+		if int64(len(data)) != op.Size || op.Off+op.Size > int64(len(want)) {
+			return fmt.Errorf("read %s@%d: got %d bytes, oracle size %d, want %d",
+				path, op.Off, len(data), len(want), op.Size)
+		}
+		if !bytes.Equal(data, want[op.Off:op.Off+op.Size]) {
+			return fmt.Errorf("read %s@%d: content diverges from oracle", path, op.Off)
+		}
+	case workload.OpStat:
+		h, ok := w.handles[key]
+		if !ok {
+			return fmt.Errorf("stat %s: no handle", path)
+		}
+		info, err := w.cl.Stat(h)
+		if err != nil {
+			return fmt.Errorf("stat %s: %w", path, err)
+		}
+		if want := int64(len(w.oracle[key])); info.Size != want {
+			return fmt.Errorf("stat %s: size %d, oracle %d", path, info.Size, want)
+		}
+	case workload.OpDelete:
+		if err := w.cl.Remove(path); err != nil {
+			return fmt.Errorf("delete %s: %w", path, err)
+		}
+		delete(w.handles, key)
+		delete(w.oracle, key)
+	case workload.OpTruncate:
+		h, ok := w.handles[key]
+		if !ok {
+			return fmt.Errorf("truncate %s: no handle", path)
+		}
+		if err := w.cl.Truncate(h, uint64(op.Size)); err != nil {
+			return fmt.Errorf("truncate %s to %d: %w", path, op.Size, err)
+		}
+		cur := w.oracle[key]
+		if op.Size <= int64(len(cur)) {
+			w.oracle[key] = cur[:op.Size]
+		} else {
+			grown := make([]byte, op.Size)
+			copy(grown, cur)
+			w.oracle[key] = grown
+		}
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// RunProfileOverServer formats a fresh device, mounts it, starts
+// denova-serve on an ephemeral loopback port, and replays the profile
+// through opts.Threads client connections. After the replay a COMMIT
+// drains the dedup pipeline and every surviving file is read back over the
+// wire against the oracle.
+func RunProfileOverServer(cfg FSConfig, prof workload.Profile, opts ServeProfileOptions) (ServeProfileResult, error) {
+	prof = prof.Normalized()
+	if prof.NumOps == 0 {
+		return ServeProfileResult{}, fmt.Errorf("profile %q: empty trace", prof.Name)
+	}
+	ops := prof.Ops()
+
+	gen := prof.NewPayloadGen()
+	payloads := make([][]byte, len(ops))
+	var writeBytes int64
+	for i, op := range ops {
+		if op.Kind == workload.OpWrite || op.Kind == workload.OpAppend {
+			payloads[i] = gen.Data(op)
+			writeBytes += op.Size
+		}
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 2
+	}
+	if opts.DevSize == 0 {
+		opts.DevSize = 3*writeBytes + prof.MaxBytes() + (64 << 20)
+	}
+	if opts.Profile.Name == "" {
+		opts.Profile = pmem.ProfileOptane
+	}
+
+	dev := denova.NewDevice(opts.DevSize, opts.Profile)
+	fs, err := denova.Mkfs(dev, cfg.denovaConfig())
+	if err != nil {
+		return ServeProfileResult{}, err
+	}
+	defer fs.Unmount()
+
+	srv := server.New(fs, opts.Server)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return ServeProfileResult{}, err
+	}
+	defer srv.Close()
+
+	// Tenant directories over the wire too: the run should touch MKDIR.
+	setup, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return ServeProfileResult{}, err
+	}
+	for tn := 0; tn < prof.Tenants; tn++ {
+		if dir := prof.TenantDir(tn); dir != "" {
+			if err := setup.Mkdir(dir); err != nil {
+				setup.Close()
+				return ServeProfileResult{}, err
+			}
+		}
+	}
+
+	workers := make([]*serveWorker, opts.Threads)
+	for i := range workers {
+		cl, err := client.Dial(addr, client.Options{})
+		if err != nil {
+			setup.Close()
+			return ServeProfileResult{}, err
+		}
+		defer cl.Close()
+		workers[i] = &serveWorker{
+			cl: cl, prof: prof,
+			handles: map[int]denova.Handle{},
+			oracle:  map[int][]byte{},
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, opts.Threads)
+	for tid := 0; tid < opts.Threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := workers[tid]
+			for i, op := range ops {
+				key := op.Tenant*prof.FilesPerTenant + op.File
+				if key%opts.Threads != tid {
+					continue
+				}
+				if err := w.run(op, payloads[i]); err != nil {
+					errs <- fmt.Errorf("worker %d op %d: %w", tid, i, err)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return ServeProfileResult{}, err
+	default:
+	}
+
+	// COMMIT over the wire quiesces the dedup pipeline before verification.
+	if err := setup.Commit(); err != nil {
+		setup.Close()
+		return ServeProfileResult{}, err
+	}
+
+	res := ServeProfileResult{
+		Model:     cfg.Label(),
+		Profile:   prof.Name,
+		Threads:   opts.Threads,
+		Ops:       int64(len(ops)),
+		Elapsed:   elapsed,
+		Savings:   fs.Stats().Space.Savings(),
+		OpLatency: map[string]obs.HistogramStats{},
+		Oracle:    map[string][]byte{},
+	}
+	for _, w := range workers {
+		res.Bytes += w.bytesW
+		res.Read += w.bytesR
+		for key, data := range w.oracle {
+			res.Oracle[prof.Path(key/prof.FilesPerTenant, key%prof.FilesPerTenant)] = data
+		}
+	}
+	snap := fs.Registry().Snapshot()
+	res.Shed = snap.Counters["serve.shed"]
+	for _, op := range wire.Ops() {
+		name := "serve.op." + op.String()
+		if st, ok := snap.Histograms[name]; ok && st.Count > 0 {
+			res.OpLatency[name] = st
+		}
+	}
+
+	// Quiesced end-state verification, still over the wire: LOOKUP each
+	// oracle file fresh and read it back in full.
+	if err := verifyOracleOverWire(setup, res.Oracle); err != nil {
+		setup.Close()
+		return ServeProfileResult{}, err
+	}
+	return res, setup.Close()
+}
+
+// ReplayTraceOverClient replays prof's full op trace through one client
+// connection on the calling goroutine: tenant mkdirs, every op verified
+// against the content oracle as it happens, then COMMIT and a full oracle
+// read-back over the wire. It returns the expected end state (path →
+// bytes). This is the single-connection building block the denova-serve
+// smoke test drives against an externally started server.
+func ReplayTraceOverClient(cl *client.Client, prof workload.Profile) (map[string][]byte, error) {
+	prof = prof.Normalized()
+	if prof.NumOps == 0 {
+		return nil, fmt.Errorf("profile %q: empty trace", prof.Name)
+	}
+	for tn := 0; tn < prof.Tenants; tn++ {
+		if dir := prof.TenantDir(tn); dir != "" {
+			if err := cl.Mkdir(dir); err != nil {
+				return nil, err
+			}
+		}
+	}
+	gen := prof.NewPayloadGen()
+	w := &serveWorker{
+		cl: cl, prof: prof,
+		handles: map[int]denova.Handle{},
+		oracle:  map[int][]byte{},
+	}
+	for i, op := range prof.Ops() {
+		var payload []byte
+		if op.Kind == workload.OpWrite || op.Kind == workload.OpAppend {
+			payload = gen.Data(op)
+		}
+		if err := w.run(op, payload); err != nil {
+			return nil, fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	if err := cl.Commit(); err != nil {
+		return nil, err
+	}
+	oracle := map[string][]byte{}
+	for key, data := range w.oracle {
+		oracle[prof.Path(key/prof.FilesPerTenant, key%prof.FilesPerTenant)] = data
+	}
+	if err := verifyOracleOverWire(cl, oracle); err != nil {
+		return nil, err
+	}
+	return oracle, nil
+}
+
+// verifyOracleOverWire is VerifyOracle's network twin.
+func verifyOracleOverWire(cl *client.Client, oracle map[string][]byte) error {
+	for path, want := range oracle {
+		h, info, err := cl.Lookup(path)
+		if err != nil {
+			return fmt.Errorf("oracle %s: %w", path, err)
+		}
+		if info.Size != int64(len(want)) {
+			return fmt.Errorf("oracle %s: size %d, want %d", path, info.Size, len(want))
+		}
+		// Chunked read-back so even files beyond one frame verify.
+		const chunk = 1 << 20
+		for off := 0; off < len(want); off += chunk {
+			end := off + chunk
+			if end > len(want) {
+				end = len(want)
+			}
+			got, err := cl.Read(h, uint64(off), uint32(end-off))
+			if err != nil {
+				return fmt.Errorf("oracle %s@%d: read: %w", path, off, err)
+			}
+			if !bytes.Equal(got, want[off:end]) {
+				return fmt.Errorf("oracle %s@%d: content diverges", path, off)
+			}
+		}
+	}
+	return nil
+}

@@ -17,6 +17,12 @@ import (
 // Lock order: parent directory before child inode; never two directories
 // at once except parent→child during Rmdir.
 
+// The namespace error taxonomy. These are the canonical sentinels the
+// public denova package re-exports (denova.ErrNotFound and friends) and the
+// wire protocol maps to status codes; every namespace operation returns one
+// of them — possibly wrapped with path context — so callers can always
+// dispatch with errors.Is.
+
 // ErrExist is returned when creating a name that already exists.
 var ErrExist = fmt.Errorf("nova: file exists")
 
@@ -32,6 +38,14 @@ var ErrIsDir = fmt.Errorf("nova: is a directory")
 // ErrNotEmpty is returned when removing a non-empty directory.
 var ErrNotEmpty = fmt.Errorf("nova: directory not empty")
 
+// ErrInvalid is returned for malformed arguments: empty path components,
+// over-long names, "."/".." components, negative offsets or sizes.
+var ErrInvalid = fmt.Errorf("nova: invalid argument")
+
+// ErrStaleHandle is returned when resolving a handle whose inode slot has
+// been freed or reused since the handle was issued (see handle.go).
+var ErrStaleHandle = fmt.Errorf("nova: stale file handle")
+
 // splitPath validates a slash-separated path and returns its components.
 // Leading and trailing slashes are tolerated; empty components are not.
 func splitPath(path string) ([]string, error) {
@@ -42,13 +56,13 @@ func splitPath(path string) ([]string, error) {
 	parts := strings.Split(trimmed, "/")
 	for _, p := range parts {
 		if p == "" {
-			return nil, fmt.Errorf("nova: empty path component in %q", path)
+			return nil, fmt.Errorf("empty path component in %q: %w", path, ErrInvalid)
 		}
 		if len(p) > MaxNameLen {
-			return nil, fmt.Errorf("nova: component %q exceeds %d bytes", p, MaxNameLen)
+			return nil, fmt.Errorf("component %q exceeds %d bytes: %w", p, MaxNameLen, ErrInvalid)
 		}
 		if p == "." || p == ".." {
-			return nil, fmt.Errorf("nova: %q components are not supported", p)
+			return nil, fmt.Errorf("%q components are not supported: %w", p, ErrInvalid)
 		}
 	}
 	return parts, nil
@@ -88,7 +102,7 @@ func (fs *FS) resolveParent(path string) (*Inode, string, error) {
 		return nil, "", err
 	}
 	if len(parts) == 0 {
-		return nil, "", fmt.Errorf("nova: path %q has no leaf", path)
+		return nil, "", fmt.Errorf("path %q has no leaf: %w", path, ErrInvalid)
 	}
 	dir, err := fs.resolveDir(parts[:len(parts)-1])
 	if err != nil {

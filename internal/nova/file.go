@@ -32,7 +32,7 @@ func (fs *FS) Write(in *Inode, off uint64, data []byte, flag uint8) (uint64, err
 
 func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint64, error) {
 	if in.dir {
-		return 0, fmt.Errorf("nova: inode %d is a directory", in.ino)
+		return 0, fmt.Errorf("write: inode %d: %w", in.ino, ErrIsDir)
 	}
 	// Observability: op-level timing costs two clock reads per write; the
 	// per-step breakdown (and its extra clock reads) only at the fine level.
@@ -208,7 +208,7 @@ func (fs *FS) Read(in *Inode, off uint64, buf []byte) (int, error) {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	if in.dir {
-		return 0, fmt.Errorf("nova: inode %d is a directory", in.ino)
+		return 0, fmt.Errorf("read: inode %d: %w", in.ino, ErrIsDir)
 	}
 	if off >= in.size {
 		return 0, nil

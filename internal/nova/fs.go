@@ -195,7 +195,7 @@ func (fs *FS) allocInodeSlot() (uint64, error) {
 			return i, nil
 		}
 	}
-	return 0, fmt.Errorf("nova: out of inodes (max %d)", len(fs.inUse))
+	return 0, fmt.Errorf("out of inodes (max %d): %w", len(fs.inUse), ErrNoSpace)
 }
 
 func (fs *FS) releaseInodeSlot(ino uint64) {

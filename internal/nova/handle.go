@@ -1,0 +1,38 @@
+package nova
+
+import "fmt"
+
+// Stable 64-bit file handles. A handle names an inode *instance*, not a
+// path: it packs the inode number with the slot's generation counter, which
+// is bumped every time the slot is reused for a new file. Resolving a
+// handle therefore fails with ErrStaleHandle once the file it named has
+// been deleted — even if the inode number has since been recycled for an
+// unrelated file. The serving layer resolves a path to a handle once
+// (LOOKUP/CREATE) and issues all data ops against the handle, NFS style.
+//
+// Packing: the low 32 bits hold the inode number, the high 32 bits the
+// generation. Both are masked; an installation that ever exceeded 2^32
+// inodes or 2^32 reuses of one slot could alias, which is documented and
+// far beyond the simulated device sizes (default MaxInodes is 4096).
+
+const handleMask = 1<<32 - 1
+
+// Handle returns the inode's stable identity. Ino and gen are immutable for
+// the lifetime of the DRAM inode, so no lock is needed.
+func (ino *Inode) Handle() uint64 {
+	return (ino.gen&handleMask)<<32 | ino.ino&handleMask
+}
+
+// ResolveHandle returns the live inode a handle names. It fails with
+// ErrStaleHandle when the inode slot is free or has been reused since the
+// handle was issued.
+func (fs *FS) ResolveHandle(h uint64) (*Inode, error) {
+	ino := h & handleMask
+	fs.imu.RLock()
+	in, ok := fs.inodes[ino]
+	fs.imu.RUnlock()
+	if !ok || in.Handle() != h {
+		return nil, fmt.Errorf("handle %#x: %w", h, ErrStaleHandle)
+	}
+	return in, nil
+}

@@ -1,0 +1,82 @@
+package nova
+
+import (
+	"errors"
+	"testing"
+
+	"denova/internal/pmem"
+)
+
+func TestHandleResolveAndStaleness(t *testing.T) {
+	t.Parallel()
+	fs, err := Mkfs(pmem.New(16<<20, pmem.ProfileZero), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := in.Handle()
+	if h == 0 {
+		t.Fatal("handle must be nonzero (gen starts at 1)")
+	}
+	got, err := fs.ResolveHandle(h)
+	if err != nil || got != in {
+		t.Fatalf("ResolveHandle(%#x) = %v, %v; want the created inode", h, got, err)
+	}
+
+	// Deleting the file staleness the handle.
+	if err := fs.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ResolveHandle(h); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("resolve after delete = %v, want ErrStaleHandle", err)
+	}
+
+	// Reusing the slot bumps the generation: the old handle must NOT
+	// resolve to the new file.
+	in2, err := fs.Create("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.Ino() == in.Ino() && in2.Handle() == h {
+		t.Fatal("slot reuse produced an identical handle")
+	}
+	if _, err := fs.ResolveHandle(h); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("old handle resolved after slot reuse: %v", err)
+	}
+
+	// Bogus handles (never issued) are stale, not panics.
+	if _, err := fs.ResolveHandle(0); !errors.Is(err, ErrStaleHandle) {
+		t.Fatalf("ResolveHandle(0) = %v, want ErrStaleHandle", err)
+	}
+}
+
+func TestHandleStableAcrossRemount(t *testing.T) {
+	t.Parallel()
+	dev := pmem.New(16<<20, pmem.ProfileZero)
+	fs, err := Mkfs(dev, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := fs.Create("keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := in.Handle()
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, _, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.ResolveHandle(h)
+	if err != nil {
+		t.Fatalf("handle did not survive remount: %v", err)
+	}
+	if got.Ino() != in.Ino() {
+		t.Fatalf("handle resolved to ino %d, want %d", got.Ino(), in.Ino())
+	}
+}

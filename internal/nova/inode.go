@@ -186,6 +186,16 @@ func (ino *Inode) Mapping(pg uint64) (block, entryOff uint64, ok bool) {
 	return v.Block, v.Entry, ok
 }
 
+// OwnsEntry reports whether the entry at device offset off lies inside one
+// of the inode's current log pages. The inode lock must be held. The dedup
+// daemon checks this before reading a queued entry: once a page has been
+// reclaimed (delete, fast GC, log compaction), the allocator may hand it to
+// another inode, and a raw read of it would race with that inode's appends.
+func (ino *Inode) OwnsEntry(off uint64) bool {
+	_, ok := ino.live[pageOfOff(off)]
+	return ok
+}
+
 // PageCount reports how many data pages the file currently references.
 func (ino *Inode) PageCount() uint64 { return ino.pages }
 

@@ -67,7 +67,7 @@ func (fs *FS) Truncate(in *Inode, size uint64, flag uint8) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.dir {
-		return fmt.Errorf("nova: inode %d is a directory", in.ino)
+		return fmt.Errorf("truncate: inode %d: %w", in.ino, ErrIsDir)
 	}
 	if size == in.size {
 		return nil

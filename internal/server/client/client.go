@@ -1,0 +1,248 @@
+// Package client is the Go client for the DENOVA serving protocol
+// (internal/server/wire). One Client multiplexes any number of concurrent
+// callers over a single TCP connection: each call gets a fresh request id,
+// responses are matched back by id, so calls pipeline on the wire exactly
+// the way the server's scheduler expects.
+//
+// StatusRetry sheds from the server's admission control are handled inside
+// the client: the call backs off (exponential, bounded) and resends, and
+// only a persistent shed surfaces to the caller as denova.ErrRetry. All
+// other non-OK statuses surface as the matching public denova sentinel
+// (errors.Is-compatible), so code written against the local API ports to
+// the network API unchanged.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"denova"
+	"denova/internal/server/wire"
+)
+
+// Options tunes retry behavior; the zero value picks defaults.
+type Options struct {
+	// RetryBudget is how many times a call resends after a StatusRetry
+	// shed before giving up with ErrRetry. Default 32.
+	RetryBudget int
+	// RetryBase is the first backoff; it doubles per shed, capped at
+	// 100x. Default 200µs.
+	RetryBase time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 32
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 200 * time.Microsecond
+	}
+	return o
+}
+
+// Client is one connection to a denova-serve endpoint. Safe for concurrent
+// use; calls from many goroutines pipeline over the single connection.
+type Client struct {
+	conn net.Conn
+	opts Options
+
+	wmu sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *wire.Response
+	dead    error // set once the read loop exits; guarded by pmu
+
+	nextID atomic.Uint64
+}
+
+// Dial connects to a server.
+func Dial(addr string, opts Options) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		opts:    opts.withDefaults(),
+		pending: make(map[uint64]chan *wire.Response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readLoop dispatches response frames to their waiting callers by id. On
+// any read or decode error the connection is unusable: every waiter (and
+// every future call) gets the error.
+func (c *Client) readLoop() {
+	var fatal error
+	for {
+		payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			fatal = fmt.Errorf("denova client: connection lost: %w", err)
+			break
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			fatal = fmt.Errorf("denova client: protocol error: %w", err)
+			break
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.pmu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks
+		}
+	}
+	c.conn.Close()
+	c.pmu.Lock()
+	c.dead = fatal
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.pmu.Unlock()
+}
+
+// roundTrip sends one request (with a fresh id) and waits for its response.
+func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	req.ID = c.nextID.Add(1)
+	frame, err := wire.EncodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan *wire.Response, 1)
+	c.pmu.Lock()
+	if c.dead != nil {
+		err := c.dead
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.pending[req.ID] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err = wire.WriteFrame(c.conn, frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, req.ID)
+		c.pmu.Unlock()
+		return nil, fmt.Errorf("denova client: send: %w", err)
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.pmu.Lock()
+		err := c.dead
+		c.pmu.Unlock()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// call runs roundTrip with the retry loop for admission-control sheds.
+func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	backoff := c.opts.RetryBase
+	for attempt := 0; ; attempt++ {
+		resp, err := c.roundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status == wire.StatusRetry && attempt < c.opts.RetryBudget {
+			time.Sleep(backoff)
+			if backoff < 100*c.opts.RetryBase {
+				backoff *= 2
+			}
+			continue
+		}
+		if resp.Status != wire.StatusOK {
+			return nil, resp.Status.Err(resp.Msg)
+		}
+		return resp, nil
+	}
+}
+
+// Lookup resolves a path to its stable handle and metadata.
+func (c *Client) Lookup(path string) (denova.Handle, wire.FileInfo, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpLookup, Path: path})
+	if err != nil {
+		return 0, wire.FileInfo{}, err
+	}
+	return resp.Handle, resp.Info, nil
+}
+
+// Create makes a new empty file and returns its handle.
+func (c *Client) Create(path string) (denova.Handle, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpCreate, Path: path})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Handle, nil
+}
+
+// Read returns up to n bytes at off (short only at end of file).
+func (c *Client) Read(h denova.Handle, off uint64, n uint32) ([]byte, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpRead, Handle: h, Off: off, Size: uint64(n)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Write stores data at off and returns the bytes accepted.
+func (c *Client) Write(h denova.Handle, off uint64, data []byte) (int, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpWrite, Handle: h, Off: off, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.N), nil
+}
+
+// Truncate sets the file's size.
+func (c *Client) Truncate(h denova.Handle, size uint64) error {
+	_, err := c.call(&wire.Request{Op: wire.OpTruncate, Handle: h, Size: size})
+	return err
+}
+
+// Remove unlinks a file.
+func (c *Client) Remove(path string) error {
+	_, err := c.call(&wire.Request{Op: wire.OpRemove, Path: path})
+	return err
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	_, err := c.call(&wire.Request{Op: wire.OpMkdir, Path: path})
+	return err
+}
+
+// Readdir lists a directory ("" for the root).
+func (c *Client) Readdir(path string) ([]string, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpReaddir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Stat returns a handle's current metadata.
+func (c *Client) Stat(h denova.Handle) (wire.FileInfo, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpStat, Handle: h})
+	if err != nil {
+		return wire.FileInfo{}, err
+	}
+	return resp.Info, nil
+}
+
+// Commit blocks until the server's dedup pipeline is fully drained.
+func (c *Client) Commit() error {
+	_, err := c.call(&wire.Request{Op: wire.OpCommit})
+	return err
+}

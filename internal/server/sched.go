@@ -1,0 +1,162 @@
+package server
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"denova"
+	"denova/internal/server/wire"
+)
+
+// task is one admitted request bound to the session that must receive its
+// response.
+type task struct {
+	sess *session
+	req  *wire.Request
+}
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// maxReadSize bounds one READ's result so the response always fits a frame.
+const maxReadSize = wire.MaxFrame - 64
+
+// worker drains one queue FIFO, preserving per-shard (and therefore
+// per-file) order, and records each op's latency in serve.op.<name>.
+func (s *Server) worker(q chan task) {
+	defer s.workerWG.Done()
+	for t := range q {
+		start := time.Now()
+		resp := s.exec(t.req)
+		s.opHists[t.req.Op].Observe(time.Since(start))
+		frame, err := wire.EncodeResponse(resp)
+		if err != nil {
+			// An unencodable success body (cannot happen with the size
+			// caps in exec) degrades to a bare error response.
+			frame, _ = wire.EncodeResponse(&wire.Response{
+				ID: resp.ID, Op: resp.Op, Status: wire.StatusIO, Msg: "response encoding failed",
+			})
+		}
+		t.sess.send(frame)
+		s.inflight.Add(-1)
+	}
+}
+
+// exec runs one request against the FS and builds the response. Every
+// error path maps through wire.StatusOf, so the taxonomy on the wire is
+// exactly the public denova taxonomy.
+func (s *Server) exec(req *wire.Request) *wire.Response {
+	resp := &wire.Response{ID: req.ID, Op: req.Op}
+	fail := func(err error) *wire.Response {
+		resp.Status = wire.StatusOf(err)
+		resp.Msg = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case wire.OpLookup:
+		h, info, err := s.fs.Lookup(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Handle = h
+		resp.Info = wireInfo(info)
+	case wire.OpCreate:
+		f, err := s.fs.Create(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Handle = f.Handle()
+	case wire.OpRead:
+		f, off, err := s.resolve(req)
+		if err != nil {
+			return fail(err)
+		}
+		if req.Size > maxReadSize {
+			return fail(wire.StatusInvalid.Err("read length exceeds frame budget"))
+		}
+		buf := make([]byte, req.Size)
+		n, err := f.ReadAt(buf, off)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Data = buf[:n]
+	case wire.OpWrite:
+		f, off, err := s.resolve(req)
+		if err != nil {
+			return fail(err)
+		}
+		n, err := f.WriteAt(req.Data, off)
+		if err != nil {
+			return fail(err)
+		}
+		resp.N = uint32(n)
+	case wire.OpTruncate:
+		f, _, err := s.resolve(req)
+		if err != nil {
+			return fail(err)
+		}
+		if req.Size > math.MaxInt64 {
+			return fail(wire.StatusInvalid.Err("truncate size overflows"))
+		}
+		if err := f.Truncate(int64(req.Size)); err != nil {
+			return fail(err)
+		}
+	case wire.OpRemove:
+		if err := s.fs.Remove(req.Path); err != nil {
+			return fail(err)
+		}
+	case wire.OpMkdir:
+		if err := s.fs.Mkdir(req.Path); err != nil {
+			return fail(err)
+		}
+	case wire.OpReaddir:
+		names, err := s.fs.List(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Names = names
+	case wire.OpStat:
+		f, _, err := s.resolve(req)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Info = wireInfo(f.Stat())
+	case wire.OpCommit:
+		s.fs.Sync()
+	default:
+		return fail(wire.StatusInvalid.Err("unknown op"))
+	}
+	return resp
+}
+
+// resolve turns a handle op's (handle, off) pair into an open file and a
+// validated signed offset.
+func (s *Server) resolve(req *wire.Request) (*denova.File, int64, error) {
+	if req.Off > math.MaxInt64 {
+		return nil, 0, wire.StatusInvalid.Err("offset overflows")
+	}
+	f, err := s.fs.FileByHandle(req.Handle)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, int64(req.Off), nil
+}
+
+func wireInfo(fi denova.FileInfo) wire.FileInfo {
+	return wire.FileInfo{
+		Size:  fi.Size,
+		Pages: fi.Pages,
+		Ctime: fi.Ctime,
+		Mtime: fi.Mtime,
+		IsDir: fi.IsDir,
+	}
+}

@@ -1,0 +1,319 @@
+// Package server is the DENOVA network serving layer: a TCP front-end
+// exposing the NFS-like stateless op set defined by internal/server/wire
+// against one mounted denova.FS.
+//
+// Design (modelled on NFS v3 serving):
+//
+//   - Stateless ops. LOOKUP/CREATE resolve a path once to a stable 64-bit
+//     handle (inode identity); all data ops address the handle. The server
+//     keeps no per-connection open-file table, so any worker can execute
+//     any request and a reconnecting client keeps its handles.
+//
+//   - Pipelining. A connection may have many requests in flight; responses
+//     carry the client's request id and may arrive out of order across
+//     files. Per-file order is preserved: the scheduler partitions requests
+//     by handle (path ops by path hash) onto a fixed worker pool, and each
+//     worker drains its queue FIFO.
+//
+//   - Admission control. A global in-flight cap plus bounded per-worker
+//     queues; when either would overflow, the request is shed immediately
+//     with StatusRetry instead of queueing without bound. Sheds, admissions
+//     and per-op latency histograms (serve.op.<name>) are recorded in the
+//     FS's obs registry, so denovactl top and /metrics see serving and
+//     dedup behavior side by side.
+package server
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"denova"
+	"denova/internal/obs"
+	"denova/internal/server/wire"
+)
+
+// Config tunes the serving layer. The zero value picks sane defaults.
+type Config struct {
+	// Workers is the size of the op worker pool. Default:
+	// min(GOMAXPROCS, 8).
+	Workers int
+	// MaxInflight caps admitted-but-uncompleted requests across all
+	// connections; beyond it new requests are shed with StatusRetry.
+	// Default 256.
+	MaxInflight int
+	// QueueDepth bounds each worker's queue; a full queue sheds with
+	// StatusRetry rather than blocking the connection reader. Default 64.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers()
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Server serves one mounted FS over TCP. Create with New, start with
+// Start, stop with Close.
+type Server struct {
+	fs  *denova.FS
+	cfg Config
+
+	ln     net.Listener
+	queues []chan task
+	closed atomic.Bool
+
+	inflight   atomic.Int64
+	inflightG  *obs.Gauge
+	admitted   *obs.Counter
+	shed       *obs.Counter
+	protoErrs  *obs.Counter
+	connsG     *obs.Gauge
+	conns      atomic.Int64
+	opHists    []*obs.Histogram
+	workerWG   sync.WaitGroup
+	connWG     sync.WaitGroup
+	acceptDone chan struct{}
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+}
+
+// New builds a server around a mounted FS. The FS must outlive the server.
+func New(fs *denova.FS, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		fs:       fs,
+		cfg:      cfg,
+		sessions: make(map[*session]struct{}),
+	}
+	reg := fs.Registry()
+	s.admitted = reg.Counter("serve.admitted")
+	s.shed = reg.Counter("serve.shed")
+	s.protoErrs = reg.Counter("serve.proto_errors")
+	s.inflightG = reg.Gauge("serve.inflight")
+	s.connsG = reg.Gauge("serve.conns")
+	s.opHists = make([]*obs.Histogram, wire.OpCommit+1)
+	for _, op := range wire.Ops() {
+		s.opHists[op] = reg.Histogram("serve.op." + op.String())
+	}
+	return s
+}
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port), spawns
+// the worker pool and the accept loop, and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.queues = make([]chan task, s.cfg.Workers)
+	for i := range s.queues {
+		s.queues[i] = make(chan task, s.cfg.QueueDepth)
+		s.workerWG.Add(1)
+		go s.worker(s.queues[i])
+	}
+	s.acceptDone = make(chan struct{})
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down: stop accepting, close every connection,
+// wait for session goroutines, then drain and stop the worker pool. Safe
+// to call once; the FS itself is left mounted.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if s.ln != nil {
+		s.ln.Close()
+		<-s.acceptDone
+	}
+	s.mu.Lock()
+	for sess := range s.sessions {
+		sess.close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	// No readers remain, so no new tasks can be enqueued: closing the
+	// queues lets each worker finish its backlog and exit.
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.workerWG.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(c)
+		}()
+	}
+}
+
+// session is one client connection: a reader goroutine (frames → admission
+// → scheduler) and a writer goroutine (response frames → socket). Workers
+// hand finished responses to the writer via out; done unblocks them when
+// the connection dies so a dead client can never wedge the pool.
+type session struct {
+	conn      net.Conn
+	out       chan []byte
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (sess *session) close() {
+	sess.closeOnce.Do(func() {
+		close(sess.done)
+		sess.conn.Close()
+	})
+}
+
+// send enqueues a response frame, dropping it if the session is gone.
+func (sess *session) send(frame []byte) {
+	select {
+	case sess.out <- frame:
+	case <-sess.done:
+	}
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	sess := &session{
+		conn: c,
+		out:  make(chan []byte, s.cfg.QueueDepth),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	s.connsG.Store(s.conns.Add(1))
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+		s.connsG.Store(s.conns.Add(-1))
+	}()
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for {
+			select {
+			case frame := <-sess.out:
+				if err := wire.WriteFrame(c, frame); err != nil {
+					sess.close()
+					return
+				}
+			case <-sess.done:
+				return
+			}
+		}
+	}()
+
+	s.readLoop(sess)
+	sess.close()
+	writerWG.Wait()
+}
+
+// readLoop decodes frames and either sheds or schedules them. A framing or
+// decode error is a protocol violation: without a trustworthy request id
+// there is nothing to respond to, so the connection is dropped.
+func (s *Server) readLoop(sess *session) {
+	for {
+		payload, err := wire.ReadFrame(sess.conn)
+		if err != nil {
+			return // EOF, connection closed, or hostile length word
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			s.protoErrs.Inc()
+			return
+		}
+		s.dispatch(sess, req)
+	}
+}
+
+// dispatch applies admission control and routes the request to its worker.
+func (s *Server) dispatch(sess *session, req *wire.Request) {
+	if n := s.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
+		s.inflight.Add(-1)
+		s.shedReq(sess, req, "server at max in-flight ops")
+		return
+	}
+	s.inflightG.Store(s.inflight.Load())
+	q := s.queues[shardKey(req)%uint64(len(s.queues))]
+	select {
+	case q <- task{sess: sess, req: req}:
+		s.admitted.Inc()
+	default:
+		s.inflight.Add(-1)
+		s.shedReq(sess, req, "worker queue full")
+	}
+}
+
+// shedReq answers a request with StatusRetry without consuming a worker.
+func (s *Server) shedReq(sess *session, req *wire.Request, why string) {
+	s.shed.Inc()
+	frame, err := wire.EncodeResponse(&wire.Response{
+		ID: req.ID, Op: req.Op, Status: wire.StatusRetry, Msg: why,
+	})
+	if err != nil {
+		return // cannot happen: fixed-shape response
+	}
+	sess.send(frame)
+}
+
+// shardKey partitions requests so that all ops against one object land on
+// one worker (preserving per-file order): handle ops key on the handle,
+// path ops on a hash of the path. COMMIT keys to 0 — it drains the global
+// dedup pipeline, so any fixed worker serializes concurrent commits.
+func shardKey(req *wire.Request) uint64 {
+	switch req.Op {
+	case wire.OpRead, wire.OpWrite, wire.OpTruncate, wire.OpStat:
+		return uint64(req.Handle)
+	case wire.OpCommit:
+		return 0
+	default:
+		return fnv64a(req.Path)
+	}
+}
+
+// fnv64a is FNV-1a; inlined to keep the hot dispatch path allocation-free.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

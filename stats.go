@@ -38,6 +38,54 @@ type QueueStats struct {
 	Shards   []int // current depth of each inode shard
 }
 
+// GeometryInfo describes the on-device region sizes (for overhead
+// reporting: how much of the device the FACT metadata costs).
+type GeometryInfo struct {
+	DeviceBytes int64 // total simulated device capacity
+	FactBytes   int64 // FACT region (dedup metadata on PM)
+	DataBytes   int64 // allocatable data region
+}
+
+// StatsSnapshot is the cheap control-plane snapshot: queue depths, worker
+// utilization and device geometry, gathered without walking any file
+// mappings (unlike Stats, which computes the space figures). All slices
+// are defensive copies owned by the caller.
+type StatsSnapshot struct {
+	Queue    QueueStats         // zero value in ModeNone/ModeInline
+	Workers  []dedup.WorkerStat // per-worker utilization; nil when no daemon runs
+	Geometry GeometryInfo
+}
+
+// StatsSnapshot gathers the control-plane snapshot. It replaces the
+// one-off QueueLen/QueuePeak/QueueShardLens/WorkerStats/Geometry
+// accessors, which survive as deprecated wrappers.
+func (f *FS) StatsSnapshot() StatsSnapshot {
+	var st StatsSnapshot
+	g := f.fs.Geo
+	st.Geometry = GeometryInfo{
+		DeviceBytes: g.DevSize,
+		FactBytes:   g.FactPages * 4096,
+		DataBytes:   g.NumDataBlocks * 4096,
+	}
+	if f.engine != nil {
+		q := f.engine.DWQ()
+		enq, deq := q.Counts()
+		st.Queue = QueueStats{
+			Len:      q.Len(),
+			Peak:     q.Peak(),
+			Enqueued: enq,
+			Dequeued: deq,
+			// Copy even though ShardLens allocates today: the snapshot
+			// contract must not depend on a lower layer's implementation.
+			Shards: append([]int(nil), q.ShardLens()...),
+		}
+	}
+	if f.daemon != nil {
+		st.Workers = append([]dedup.WorkerStat(nil), f.daemon.WorkerStats()...)
+	}
+	return st
+}
+
 // Stats is a combined snapshot across all layers.
 type Stats struct {
 	Space   SpaceStats
@@ -63,23 +111,12 @@ func (f *FS) Stats() Stats {
 	var st Stats
 	st.FS = f.fs.Stats()
 	st.Device = f.dev.Stats()
+	snap := f.StatsSnapshot()
+	st.Queue = snap.Queue
+	st.Workers = snap.Workers
 	if f.engine != nil {
 		st.Dedup = f.engine.Stats()
 		st.Fact = f.table.Stats()
-		q := f.engine.DWQ()
-		enq, deq := q.Counts()
-		st.Queue = QueueStats{
-			Len:      q.Len(),
-			Peak:     q.Peak(),
-			Enqueued: enq,
-			Dequeued: deq,
-			// Copy even though ShardLens allocates today: the snapshot
-			// contract must not depend on a lower layer's implementation.
-			Shards: append([]int(nil), q.ShardLens()...),
-		}
-	}
-	if f.daemon != nil {
-		st.Workers = append([]dedup.WorkerStat(nil), f.daemon.WorkerStats()...)
 	}
 	distinct := make(map[uint64]bool)
 	var logical int64
