@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race torture bench bench-recovery bench-json slo serve-smoke clean
+.PHONY: all build lint vet test race torture bench bench-recovery bench-json bench-append slo serve-smoke clean
 
 all: build lint test
 
@@ -47,11 +47,21 @@ bench-recovery:
 bench-json:
 	$(GO) run ./cmd/denova-bench json
 
+# bench-append = the split-write-path microbenchmark: the same append
+# stream through the slow five-step CoW path and through staging + batched
+# relink, emitting BENCH_*_append.json with fences-per-appended-page and
+# printing the fence-reduction factor (must be >= 4x at batch size 8; the
+# slo gate enforces that floor).
+bench-append:
+	$(GO) run ./cmd/denova-bench append
+
 # slo = the performance regression gate: replay the five standard workload
-# profiles (fileserver, varmail, webproxy, backup-ingest, multitenant),
-# write their BENCH_*.json reports, and compare ops/s floors and per-op p99
-# ceilings against the committed slo.json (30% noise margin). Non-zero exit
-# on any violation. Re-baseline by editing slo.json — see DESIGN.md §5.5.
+# profiles (fileserver, varmail, webproxy, backup-ingest, multitenant) plus
+# the append microbenchmark, write their BENCH_*.json reports, and compare
+# ops/s floors and per-op p99 ceilings against the committed slo.json (30%
+# noise margin); the append fence-reduction floor (4x) is checked without
+# margin. Non-zero exit on any violation. Re-baseline by editing slo.json —
+# see DESIGN.md §5.5.
 slo:
 	$(GO) run ./cmd/denova-bench slo
 

@@ -99,7 +99,7 @@ func n(base int) int {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: denova-bench [flags] <table1|fig2|table4|fig8|fig9|fig10|fig11|fig12|model|ablations|space|overhead|wear|json|slo|all>")
+		fmt.Fprintln(os.Stderr, "usage: denova-bench [flags] <table1|fig2|table4|fig8|fig9|fig10|fig11|fig12|model|ablations|space|overhead|wear|json|append|slo|all>")
 		os.Exit(2)
 	}
 	arts := map[string]func() error{
@@ -117,6 +117,7 @@ func main() {
 		"overhead":  overhead,
 		"wear":      wear,
 		"json":      benchJSON,
+		"append":    appendBench,
 		"slo":       sloGate,
 	}
 	run := func(name string) {
@@ -165,6 +166,30 @@ func benchJSON() error {
 		fmt.Println("wrote", p)
 	}
 	return err
+}
+
+// appendBench runs the split-write-path append microbenchmark (baseline
+// slow path vs staged+batched relink) and writes both BENCH_*_append.json
+// reports into -jsondir. The printed headline is fences per appended page
+// and the reduction factor the staging path buys.
+func appendBench() error {
+	if err := os.MkdirAll(*jsondir, 0o755); err != nil {
+		return err
+	}
+	reports, paths, err := harness.WriteAppendBenchJSON(*jsondir)
+	for _, p := range paths {
+		fmt.Println("wrote", p)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %14s %12s %10s\n", "model", "fences/page", "ops/s", "MB/s")
+	for _, rep := range reports {
+		fmt.Printf("%-24s %14.3f %12.0f %10.1f\n", rep.Model, rep.FencesPerPage, rep.OpsPerSec, rep.MBps)
+	}
+	fmt.Printf("fence reduction: %.2fx (batch size %d, floor %dx)\n",
+		harness.AppendFenceReduction(reports), harness.AppendBatch, harness.MinAppendFenceReduction)
+	return nil
 }
 
 // sloGate replays the standard profile suite, writes its BENCH_*.json

@@ -24,6 +24,7 @@ package denova
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"denova/internal/dedup"
@@ -117,6 +118,27 @@ type Config struct {
 	// TraceEvents is the total trace ring capacity in events (default 8192).
 	// Oldest events are overwritten when the ring wraps.
 	TraceEvents int
+	// Staging tunes the SplitFS-style split write path. The zero value
+	// disables it: every WriteAt runs the five-step CoW slow path.
+	Staging StagingConfig
+}
+
+// StagingConfig enables the DRAM staging fast path: writes accumulate in
+// per-file page images and become durable through a single batched relink
+// commit (one contiguous allocation per extent, one write entry per
+// extent, ONE fence per batch) instead of one log commit per write.
+// Staged bytes are volatile until File.Sync, FS.Sync, an automatic
+// MaxPages/MaxDelay flush, or a metadata operation (truncate, GC, unmount)
+// quiesces them; a crash before that loses exactly the unsynced writes and
+// never corrupts the log. Ignored in ModeInline (inline dedup needs the
+// write path synchronous).
+type StagingConfig struct {
+	// MaxPages > 0 enables staging; a file whose staged page count reaches
+	// MaxPages is relinked automatically on the writer's goroutine.
+	MaxPages int
+	// MaxDelay bounds staged data's crash exposure: when > 0, a background
+	// flusher relinks every dirty file at least this often.
+	MaxDelay time.Duration
 }
 
 func (c *Config) fill() {
@@ -145,7 +167,48 @@ type FS struct {
 	reg    *obs.Registry // metrics registry (always present)
 	tracer *obs.Tracer   // event tracer (level per Config.Tracing)
 
+	stopFlush chan struct{}  // staging flusher shutdown (nil = no flusher)
+	flushWG   sync.WaitGroup // joins the flusher goroutine
+
 	recovery *RecoveryInfo // report of the mount that produced this FS
+}
+
+// stagingOn reports whether the split write path is active.
+func (f *FS) stagingOn() bool {
+	return f.cfg.Staging.MaxPages > 0 && f.cfg.Mode != ModeInline
+}
+
+// startFlusher launches the MaxDelay staging flusher when configured.
+func (f *FS) startFlusher() {
+	if !f.stagingOn() || f.cfg.Staging.MaxDelay <= 0 {
+		return
+	}
+	f.stopFlush = make(chan struct{})
+	f.flushWG.Add(1)
+	go func() {
+		defer f.flushWG.Done()
+		t := time.NewTicker(f.cfg.Staging.MaxDelay)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stopFlush:
+				return
+			case <-t.C:
+				// Best effort: ENOSPC here resolves at the next explicit
+				// Sync/Unmount, which do surface it.
+				_ = f.fs.RelinkAll()
+			}
+		}
+	}()
+}
+
+// stopFlusher joins the staging flusher; safe to call twice.
+func (f *FS) stopFlusher() {
+	if f.stopFlush != nil {
+		close(f.stopFlush)
+		f.flushWG.Wait()
+		f.stopFlush = nil
+	}
 }
 
 // Recovery returns the mount-time recovery report, or nil for a freshly
@@ -174,6 +237,7 @@ func Mkfs(dev *Device, cfg Config) (*FS, error) {
 	if cfg.Mode != ModeNone {
 		f.wireMode()
 	}
+	f.startFlusher()
 	return f, nil
 }
 
@@ -256,6 +320,7 @@ func Mount(dev *Device, cfg Config) (*FS, *RecoveryInfo, error) {
 		f.initObs()
 		f.feedRecovery(info)
 		f.recovery = info
+		f.startFlusher()
 		return f, info, nil
 	}
 	f.table = table
@@ -267,6 +332,7 @@ func Mount(dev *Device, cfg Config) (*FS, *RecoveryInfo, error) {
 	f.feedRecovery(info)
 	f.recovery = info
 	f.wireMode()
+	f.startFlusher()
 	return f, info, nil
 }
 
@@ -328,9 +394,15 @@ func (f *FS) Mode() Mode { return f.cfg.Mode }
 // Device returns the underlying PM device.
 func (f *FS) Device() *Device { return f.dev }
 
-// Sync blocks until the deduplication queue is fully drained (no-op for
-// ModeNone/ModeInline).
+// Sync makes every staged write durable (one batched relink commit per
+// dirty file) and then blocks until the deduplication queue is fully
+// drained (the dedup half is a no-op for ModeNone/ModeInline). A relink
+// failure (ENOSPC) leaves the affected staging buffers intact; use
+// File.Sync to surface it per file.
 func (f *FS) Sync() {
+	if f.stagingOn() {
+		_ = f.fs.RelinkAll()
+	}
 	if f.daemon != nil {
 		f.daemon.DrainSync()
 	} else if f.engine != nil {
@@ -387,9 +459,11 @@ func (f *FS) SetLingerHook(h func(time.Duration)) {
 	}
 }
 
-// Unmount stops the daemon, persists the DWQ snapshot, flushes inode
-// summaries, and marks the superblock clean.
+// Unmount stops the daemon and the staging flusher, relinks any staged
+// data, persists the DWQ snapshot, flushes inode summaries, and marks the
+// superblock clean.
 func (f *FS) Unmount() error {
+	f.stopFlusher()
 	if f.daemon != nil {
 		f.daemon.Stop()
 		f.daemon = nil
@@ -401,8 +475,11 @@ func (f *FS) Unmount() error {
 }
 
 // UnmountDirty simulates pulling the plug without any of the clean-
-// shutdown work (for recovery tests): it only stops the daemon goroutine.
+// shutdown work (for recovery tests): it only stops the daemon and
+// flusher goroutines. Staged DRAM data is dropped, exactly as a real
+// crash would drop it.
 func (f *FS) UnmountDirty() {
+	f.stopFlusher()
 	if f.daemon != nil {
 		f.daemon.Stop()
 		f.daemon = nil

@@ -104,28 +104,63 @@ func (fl *File) Size() int64 { return int64(fl.in.Size()) }
 // WriteAt writes len(p) bytes at offset off, routed through the configured
 // deduplication mode. It returns len(p) on success (writes are atomic per
 // call: either the whole entry commits or none of it is visible).
+//
+// With Config.Staging enabled the bytes land in the file's DRAM staging
+// buffer (the fast path) and become durable at the next relink — an
+// automatic MaxPages flush, File.Sync, FS.Sync, or a metadata operation.
+// Durability-per-call callers must Sync.
 func (fl *File) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("write at %d: negative offset: %w", off, ErrInvalid)
 	}
 	fs := fl.fs
+	if fs.stagingOn() {
+		n, err := fs.fs.StageWrite(fl.in, uint64(off), p, fs.writeFlag())
+		if err != nil {
+			return 0, err
+		}
+		if fl.in.StagedPages() >= fs.cfg.Staging.MaxPages {
+			if _, err := fs.fs.Relink(fl.in); err != nil {
+				// The write is staged (and readable); only the eager flush
+				// failed. Surface it so the caller can react to ENOSPC now
+				// rather than at Sync.
+				return n, err
+			}
+		}
+		return n, nil
+	}
 	switch fs.cfg.Mode {
 	case ModeInline:
 		if err := fs.engine.WriteInline(fl.in, uint64(off), p); err != nil {
 			return 0, err
 		}
 		return len(p), nil
-	case ModeImmediate, ModeDelayed:
-		if _, err := fs.fs.Write(fl.in, uint64(off), p, nova.FlagNeeded); err != nil {
-			return 0, err
-		}
-		return len(p), nil
 	default:
-		if _, err := fs.fs.Write(fl.in, uint64(off), p, nova.FlagNone); err != nil {
+		if _, err := fs.fs.Write(fl.in, uint64(off), p, fs.writeFlag()); err != nil {
 			return 0, err
 		}
 		return len(p), nil
 	}
+}
+
+// writeFlag is the dedupe-flag new write entries carry in this mode.
+func (f *FS) writeFlag() uint8 {
+	if f.cfg.Mode == ModeImmediate || f.cfg.Mode == ModeDelayed {
+		return nova.FlagNeeded
+	}
+	return nova.FlagNone
+}
+
+// Sync relinks this file's staged writes through one batched log commit,
+// making them durable. A no-op (nil) when staging is disabled or the file
+// has nothing staged. On error (ENOSPC) the staged data stays readable and
+// re-syncable.
+func (fl *File) Sync() error {
+	if fl.in.StagedPages() == 0 {
+		return nil
+	}
+	_, err := fl.fs.fs.Relink(fl.in)
+	return err
 }
 
 // ReadAt reads up to len(p) bytes at offset off, returning the number of

@@ -44,10 +44,12 @@ var fixtureWant = map[string]string{
 	"lockdoublebad.go":       "lockcheck",
 	"lockcrashbad.go":        "lockcheck",
 	"atomfieldbad.go":        "atomfieldcheck",
+	"relinkbad.go":           "persistcheck",
 }
 
 var fixtureClean = []string{
 	"suppressed.go", "intergood.go", "locklevels.go", "atomfieldgood.go",
+	"relinkgood.go",
 }
 
 func TestFixturesTriggerExactlyOneDiagnostic(t *testing.T) {

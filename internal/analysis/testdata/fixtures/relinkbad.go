@@ -1,0 +1,18 @@
+package fixtures
+
+import "denova/internal/pmem"
+
+// relinkBad is the batched-relink pattern with a post-commit mistake: after
+// the fence and the atomic tail store, it performs one more cached store
+// (say, a summary update) that nothing ever flushes. The batch itself is
+// fine; the trailing store reaches return unpersisted. Exactly one
+// persistcheck diagnostic.
+func relinkBad(d *pmem.Device) {
+	for i := int64(0); i < 4; i++ {
+		d.Write(i*64, make([]byte, 64))
+		d.Flush(i*64, 64)
+	}
+	d.Fence()
+	d.PersistStore64(4096, 1)
+	d.Write(4160, make([]byte, 8))
+}

@@ -1,0 +1,18 @@
+package fixtures
+
+import "denova/internal/pmem"
+
+// relinkCommit mirrors nova's batched relink commit: each entry's lines are
+// flushed without fencing, one fence orders the whole batch, and the atomic
+// tail store publishes it. The per-entry Flush (not Persist) is the point —
+// persistcheck must accept flush-only coverage when a later fence orders
+// it, and fencecheck must see the fence as preceded by flush work. Zero
+// diagnostics in this file.
+func relinkCommit(d *pmem.Device) {
+	for i := int64(0); i < 4; i++ {
+		d.Write(i*64, make([]byte, 64))
+		d.Flush(i*64, 64)
+	}
+	d.Fence()
+	d.PersistStore64(4096, 1)
+}

@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"denova/internal/pmem"
+)
+
+// TestAppendBenchFenceReduction is the acceptance gate for the split write
+// path's fence economy: the identical append stream must cost at least
+// MinAppendFenceReduction times fewer fences per appended page when staged
+// and relinked in AppendBatch-page batches than through the per-write slow
+// path. Fence counts come from the device's own counter, so this is
+// deterministic — no margin.
+func TestAppendBenchFenceReduction(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	reports, paths, err := WriteAppendBenchJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || len(paths) != 2 {
+		t.Fatalf("got %d reports, %d paths, want 2 each", len(reports), len(paths))
+	}
+
+	byName := map[string]BenchReport{}
+	for i, rep := range reports {
+		byName[rep.Name] = rep
+		// Each report must round-trip from its written file with the
+		// fence headline intact.
+		raw, err := os.ReadFile(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got BenchReport
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatalf("%s: not valid JSON: %v", paths[i], err)
+		}
+		if got.FencesPerPage != rep.FencesPerPage {
+			t.Errorf("%s: fences_per_page %v on disk vs %v in memory", paths[i], got.FencesPerPage, rep.FencesPerPage)
+		}
+		if got.FencesPerPage <= 0 {
+			t.Errorf("%s: fences_per_page = %v, want > 0", paths[i], got.FencesPerPage)
+		}
+		if got.OpsPerSec <= 0 {
+			t.Errorf("%s: ops/s = %v, want > 0", paths[i], got.OpsPerSec)
+		}
+	}
+
+	base, ok := byName["baseline-nova_append"]
+	if !ok {
+		t.Fatal("baseline append report missing")
+	}
+	staged, ok := byName["denova-staged_append"]
+	if !ok {
+		t.Fatal("staged append report missing")
+	}
+	if want := filepath.Join(dir, "BENCH_denova-staged_append.json"); paths[1] != want {
+		t.Errorf("staged report path = %q, want %q", paths[1], want)
+	}
+
+	// Only the staged run enters the SLO gate's by-profile matching; the
+	// baseline exists for the ratio.
+	if staged.Profile != "append" {
+		t.Errorf("staged report Profile = %q, want \"append\"", staged.Profile)
+	}
+	if base.Profile != "" {
+		t.Errorf("baseline report Profile = %q, want empty", base.Profile)
+	}
+
+	// The staged run must expose the stage/relink histograms the SLO entry
+	// bounds — a rename there must fail here, not silently pass the gate.
+	for _, op := range []string{"nova.write.stage", "nova.write.relink"} {
+		if l, ok := staged.Latency[op]; !ok || l.Count == 0 {
+			t.Errorf("staged report missing %q latency", op)
+		}
+	}
+
+	// The slow path pays roughly two fences per page; staging must not.
+	if base.FencesPerPage < 1 {
+		t.Errorf("baseline fences/page = %.3f, want >= 1 (slow path fences every write)", base.FencesPerPage)
+	}
+	ratio := AppendFenceReduction(reports)
+	if ratio < MinAppendFenceReduction {
+		t.Fatalf("fence reduction %.2fx (baseline %.3f vs staged %.3f fences/page), want >= %dx",
+			ratio, base.FencesPerPage, staged.FencesPerPage, MinAppendFenceReduction)
+	}
+	t.Logf("fences/page: baseline %.3f, staged %.3f, reduction %.2fx",
+		base.FencesPerPage, staged.FencesPerPage, ratio)
+}
+
+// TestAppendFenceReductionDegenerate pins the helper's zero-value contract.
+func TestAppendFenceReductionDegenerate(t *testing.T) {
+	t.Parallel()
+	if r := AppendFenceReduction(nil); r != 0 {
+		t.Errorf("no reports: ratio = %v, want 0", r)
+	}
+	only := []BenchReport{{Name: "baseline-nova_append", FencesPerPage: 2}}
+	if r := AppendFenceReduction(only); r != 0 {
+		t.Errorf("missing staged report: ratio = %v, want 0", r)
+	}
+}
+
+// TestRunAppendOracle checks the bench writes what it thinks it writes: the
+// staged run's files must be fully durable and byte-correct after the final
+// Sync (the fence savings must not come from skipped persistence).
+func TestRunAppendOracle(t *testing.T) {
+	t.Parallel()
+	const files, pages = 2, 9 // 9 pages: one ragged tail past a full batch
+	res, fs, err := RunAppend(true, files, pages, pmem.ProfileZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Unmount()
+	if res.Fences <= 0 {
+		t.Errorf("staged run issued %d fences, want > 0 (relink must fence)", res.Fences)
+	}
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i*7 + 3)
+	}
+	for i := 0; i < files; i++ {
+		f, err := fs.Open(appendBenchName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		for p := 0; p < pages; p++ {
+			if _, err := f.ReadAt(buf, int64(p)*4096); err != nil {
+				t.Fatalf("file %d page %d: %v", i, p, err)
+			}
+			for j := range buf {
+				if buf[j] != page[j] {
+					t.Fatalf("file %d page %d byte %d: got %#x want %#x", i, p, j, buf[j], page[j])
+				}
+			}
+		}
+	}
+}

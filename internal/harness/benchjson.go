@@ -60,6 +60,11 @@ type BenchReport struct {
 	TotalOps int64            `json:"total_ops,omitempty"` // trace length (profile runs)
 	OpCounts map[string]int64 `json:"op_counts,omitempty"` // per-kind op counts
 
+	// FencesPerPage is the append benchmark's headline: fences issued per
+	// appended page during the append phase (see append.go). Zero (and
+	// omitted) for every other benchmark.
+	FencesPerPage float64 `json:"fences_per_page,omitempty"`
+
 	Pmem    PmemCounters              `json:"pmem"`
 	Latency map[string]LatencySummary `json:"latency"` // op name → percentiles
 }
@@ -68,6 +73,7 @@ type BenchReport struct {
 // that actually observed samples are included).
 var benchOps = []string{
 	"nova.write", "nova.read", "nova.truncate",
+	"nova.write.stage", "nova.write.relink",
 	"dedup.process", "dedup.batch", "dedup.queue_wait",
 	"fact.begin_txn", "fact.commit_batch", "fact.decref",
 }

@@ -136,9 +136,18 @@ func CheckSLO(slo SLOFile, reports []BenchReport) []SLOViolation {
 	return violations
 }
 
-// RunSLOGate replays the standard profile suite, writes the BENCH_*.json
-// artifacts into dir, and checks them against the SLO file. The returned
-// violations are empty when the gate passes.
+// MinAppendFenceReduction is the hard floor on the append benchmark's
+// fence economy: batching AppendBatch pages per relink must cut fences per
+// appended page by at least this factor versus the per-write slow path.
+// Unlike the latency bounds this is a ratio of two runs on the same
+// machine, so no noise margin applies — the fence counts are deterministic.
+const MinAppendFenceReduction = 4
+
+// RunSLOGate replays the standard profile suite plus the append
+// microbenchmark, writes the BENCH_*.json artifacts into dir, and checks
+// them against the SLO file. Beyond the per-profile bounds it enforces
+// MinAppendFenceReduction between the baseline and staged append runs. The
+// returned violations are empty when the gate passes.
 func RunSLOGate(dir, sloPath string) ([]BenchReport, []SLOViolation, error) {
 	slo, err := LoadSLO(sloPath)
 	if err != nil {
@@ -148,5 +157,19 @@ func RunSLOGate(dir, sloPath string) ([]BenchReport, []SLOViolation, error) {
 	if err != nil {
 		return reports, nil, err
 	}
-	return reports, CheckSLO(slo, reports), nil
+	appendReps, _, err := WriteAppendBenchJSON(dir)
+	reports = append(reports, appendReps...)
+	if err != nil {
+		return reports, nil, err
+	}
+	violations := CheckSLO(slo, reports)
+	if ratio := AppendFenceReduction(appendReps); ratio < MinAppendFenceReduction {
+		violations = append(violations, SLOViolation{
+			Profile: "append", Bound: "fence reduction floor",
+			Limit: MinAppendFenceReduction, Got: ratio,
+			Detail: fmt.Sprintf("staged relink cut fences/page only %.2fx vs baseline, need >= %dx",
+				ratio, MinAppendFenceReduction),
+		})
+	}
+	return reports, violations, nil
 }

@@ -34,6 +34,11 @@ func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint6
 	if in.dir {
 		return 0, fmt.Errorf("write: inode %d: %w", in.ino, ErrIsDir)
 	}
+	// Quiesce the fast path first: a slow-path write is newer than anything
+	// staged, so the staging overlay must not outlive it.
+	if _, err := fs.relinkLocked(in); err != nil {
+		return 0, err
+	}
 	// Observability: op-level timing costs two clock reads per write; the
 	// per-step breakdown (and its extra clock reads) only at the fine level.
 	o := fs.obs
@@ -203,14 +208,23 @@ func (fs *FS) readPageInto(in *Inode, pg uint64, dst []byte) {
 // Read copies up to len(buf) bytes starting at off into buf, returning the
 // number of bytes read. Reads past the file size return n < len(buf); reads
 // of holes return zeros. Concurrent readers are admitted (read lock); the
-// read path touches neither FACT nor the DWQ (§V-B4).
+// read path touches neither FACT nor the DWQ (§V-B4). Pages staged in DRAM
+// and not yet relinked overlay the radix tree, so the fast write path is
+// read-your-writes without the inode write lock.
 func (fs *FS) Read(in *Inode, off uint64, buf []byte) (int, error) {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	if in.dir {
 		return 0, fmt.Errorf("read: inode %d: %w", in.ino, ErrIsDir)
 	}
-	if off >= in.size {
+	size := in.size
+	st := in.stage
+	if st != nil {
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+		size = st.effectiveSize(size)
+	}
+	if off >= size {
 		return 0, nil
 	}
 	o := fs.obs
@@ -219,8 +233,8 @@ func (fs *FS) Read(in *Inode, off uint64, buf []byte) (int, error) {
 		start = time.Now()
 	}
 	n := uint64(len(buf))
-	if off+n > in.size {
-		n = in.size - off
+	if off+n > size {
+		n = size - off
 	}
 	atomic.AddInt64(&fs.reads, 1)
 	read := uint64(0)
@@ -231,6 +245,13 @@ func (fs *FS) Read(in *Inode, off uint64, buf []byte) (int, error) {
 		chunk := PageSize - po
 		if chunk > n-read {
 			chunk = n - read
+		}
+		if st != nil {
+			if img, ok := st.pages[pg]; ok {
+				copy(buf[read:read+chunk], img[po:po+chunk])
+				read += chunk
+				continue
+			}
 		}
 		if v, ok := in.tree.Lookup(pg); ok {
 			if po == 0 && chunk == PageSize {
@@ -260,6 +281,8 @@ func (fs *FS) Read(in *Inode, off uint64, buf []byte) (int, error) {
 // chain is freed, and the persistent inode is invalidated with a single
 // atomic store. Caller holds the inode lock.
 func (fs *FS) deleteInodeLocked(in *Inode) {
+	// Staged bytes die with the file: they were never promised durable.
+	in.discardStagingLocked()
 	in.tree.Walk(func(_ uint64, v rtree.Value) bool {
 		fs.freeData(v.Block)
 		return true

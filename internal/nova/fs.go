@@ -53,6 +53,10 @@ type FS struct {
 	blocksSkipped int64 // Release returned false (shared block kept)
 	gcLogPages    int64
 	gcThorough    int64
+	stagedBytes   int64 // bytes accepted by the DRAM fast path
+	relinks       int64 // batched relink commits
+	relinkRuns    int64 // write entries appended by relinks
+	relinkPages   int64 // pages made durable by relinks
 }
 
 // Option configures Mkfs/Mount.
@@ -167,6 +171,8 @@ func (fs *FS) newInode(ino uint64, dir bool) (*Inode, error) {
 	}
 	if dir {
 		in.names = make(map[string]uint64)
+	} else {
+		in.stage = newStageBuf()
 	}
 	fs.imu.Lock()
 	fs.inodes[ino] = in
@@ -248,6 +254,10 @@ type Stats struct {
 	BlocksSkipped int64 // reclaim attempts on still-referenced (shared) blocks
 	GCLogPages    int64
 	GCThorough    int64 // thorough (copying) GC passes
+	StagedBytes   int64 // bytes accepted by the DRAM staging fast path
+	Relinks       int64 // batched relink commits
+	RelinkRuns    int64 // write entries appended by relink commits
+	RelinkPages   int64 // data pages made durable by relink commits
 	FreeBlocks    int64
 	TotalBlocks   int64
 }
@@ -261,13 +271,18 @@ func (fs *FS) Stats() Stats {
 		BlocksSkipped: atomic.LoadInt64(&fs.blocksSkipped),
 		GCLogPages:    atomic.LoadInt64(&fs.gcLogPages),
 		GCThorough:    atomic.LoadInt64(&fs.gcThorough),
+		StagedBytes:   atomic.LoadInt64(&fs.stagedBytes),
+		Relinks:       atomic.LoadInt64(&fs.relinks),
+		RelinkRuns:    atomic.LoadInt64(&fs.relinkRuns),
+		RelinkPages:   atomic.LoadInt64(&fs.relinkPages),
 		FreeBlocks:    fs.alloc.FreeBlocks(),
 		TotalBlocks:   fs.Geo.NumDataBlocks,
 	}
 }
 
-// Unmount persists DRAM inode state (sizes, tails) and marks the superblock
-// clean. The FS must not be used afterwards.
+// Unmount relinks any staged data, persists DRAM inode state (sizes,
+// tails) and marks the superblock clean. The FS must not be used
+// afterwards.
 func (fs *FS) Unmount() error {
 	fs.imu.RLock()
 	inos := make([]*Inode, 0, len(fs.inodes))
@@ -275,12 +290,24 @@ func (fs *FS) Unmount() error {
 		inos = append(inos, in)
 	}
 	fs.imu.RUnlock()
+	var firstErr error
 	for _, in := range inos {
-		func() {
+		err := func() error {
 			in.mu.Lock()
 			defer in.mu.Unlock()
+			_, rerr := fs.relinkLocked(in)
 			fs.updateInodeSummary(in)
+			return rerr
 		}()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		// Staged data could not be made durable: leave the dirty flag so
+		// recovery treats the image as a crash (everything committed is
+		// still consistent; only the undrainable staged bytes are lost).
+		return firstErr
 	}
 	setCleanFlag(fs.Dev, true)
 	return nil

@@ -205,15 +205,21 @@ func (fs *FS) thoroughGCLocked(in *Inode) (reclaimedPages int) {
 	// Truncate): its page must survive fast GC even with every copied
 	// write entry dead.
 	newLive[newPages[len(runs)/EntriesPerLogPage]]++
+	// Spare pages linked past the tail page (pre-extended by
+	// ensureLogSpaceLocked) stay chained from it: freeing them would leave
+	// the tail page's persistent next link dangling. They carry over empty.
+	tailIdx := in.logPageIndex(tailPage)
+	spares := in.logPages[tailIdx+1:]
+	for _, sp := range spares {
+		newLive[sp] = 0
+	}
 	reclaimed := 0
-	for _, old := range in.logPages {
-		if old != tailPage {
-			fs.alloc.Free(old, 1)
-			reclaimed++
-		}
+	for _, old := range in.logPages[:tailIdx] {
+		fs.alloc.Free(old, 1)
+		reclaimed++
 	}
 	in.logHead = newPages[0]
-	in.logPages = append(newPages, tailPage)
+	in.logPages = append(append(newPages, tailPage), spares...)
 	in.live = newLive
 	atomic.AddInt64(&fs.gcLogPages, int64(reclaimed))
 	atomic.AddInt64(&fs.gcThorough, 1)
@@ -236,6 +242,11 @@ func (fs *FS) thoroughGCLocked(in *Inode) (reclaimedPages int) {
 func (fs *FS) MaybeThoroughGC(in *Inode) int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	// Quiesce the fast path: compaction snapshots the radix state, so
+	// staged-but-unrelinked pages must reach the log first.
+	if _, err := fs.relinkLocked(in); err != nil {
+		return 0
+	}
 	if !in.shouldThoroughGC() {
 		return 0
 	}
@@ -246,5 +257,8 @@ func (fs *FS) MaybeThoroughGC(in *Inode) int {
 func (fs *FS) ForceThoroughGC(in *Inode) int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if _, err := fs.relinkLocked(in); err != nil {
+		return 0
+	}
 	return fs.thoroughGCLocked(in)
 }

@@ -159,18 +159,27 @@ type Inode struct {
 	pages    uint64         // data pages currently referenced
 	shadow   []uint64       // write-path scratch: blocks shadowed by step ④, freed in ⑤
 
+	stage *stageBuf // files only: DRAM staging for the split write path
+
 	names map[string]uint64 // directories only: name -> ino
 }
 
 // Ino returns the inode number.
 func (ino *Inode) Ino() uint64 { return ino.ino }
 
-// Size returns the current file size. Callers that need a stable value must
-// hold the inode lock.
+// Size returns the current file size, including bytes staged in DRAM and
+// not yet relinked. Callers that need a stable value must hold the inode
+// lock.
 func (ino *Inode) Size() uint64 {
 	ino.mu.RLock()
 	defer ino.mu.RUnlock()
-	return ino.size
+	sz := ino.size
+	if st := ino.stage; st != nil {
+		st.mu.RLock()
+		sz = st.effectiveSize(sz)
+		st.mu.RUnlock()
+	}
+	return sz
 }
 
 // Lock acquires the inode's write lock (exposed for the dedup daemon, which

@@ -52,30 +52,101 @@ func slotIndex(off uint64) int { return int(off%PageSize) / EntrySize }
 // commitTailLocked advances the persistent tail pointer. The inode lock
 // must be held.
 func (fs *FS) appendEntryLocked(in *Inode, rec layout.Record) (uint64, error) {
+	return fs.appendEntryWith(in, rec, true)
+}
+
+// appendEntryFlushLocked is appendEntryLocked without the trailing fence:
+// the entry's lines are flushed but not ordered. The relink commit uses it
+// to batch many appends under one fence — the caller MUST issue a Fence
+// before committing the tail, or the batch is not crash-ordered.
+func (fs *FS) appendEntryFlushLocked(in *Inode, rec layout.Record) (uint64, error) {
+	return fs.appendEntryWith(in, rec, false)
+}
+
+func (fs *FS) appendEntryWith(in *Inode, rec layout.Record, fence bool) (uint64, error) {
 	if len(rec) != EntrySize {
 		panic("nova: log entry must be exactly 64 bytes")
 	}
 	tail := in.pendingTail()
 	if slotIndex(tail) == EntriesPerLogPage {
-		// Current page is full: allocate, initialize and link a new page.
-		// The link is persisted before any entry lands in the new page, and
-		// the commit point remains the inode tail, so a crash anywhere in
-		// this sequence leaves the log consistent.
+		pg := pageOfOff(tail)
+		if idx := in.logPageIndex(pg); idx >= 0 && idx+1 < len(in.logPages) {
+			// A spare page is already linked past the full one (pre-extended
+			// by ensureLogSpaceLocked); advance into it without touching PM.
+			tail = in.logPages[idx+1] * PageSize
+		} else {
+			// Current page is full: allocate, initialize and link a new page.
+			// The link is persisted before any entry lands in the new page, and
+			// the commit point remains the inode tail, so a crash anywhere in
+			// this sequence leaves the log consistent.
+			np, err := fs.alloc.Alloc(int(in.ino), 1)
+			if err != nil {
+				return 0, err
+			}
+			fs.initLogPage(np, 0)
+			last := in.logPages[len(in.logPages)-1]
+			fs.setLogPageNext(last, np)
+			in.logPages = append(in.logPages, np)
+			in.live[np] = 0
+			tail = np * PageSize
+		}
+	}
+	fs.Dev.Write(int64(tail), rec)
+	if fence {
+		fs.Dev.Persist(int64(tail), EntrySize)
+	} else {
+		fs.Dev.Flush(int64(tail), EntrySize)
+	}
+	in.pending = tail + EntrySize
+	return tail, nil
+}
+
+// logPageIndex returns pg's position in the inode's page list, or -1.
+func (in *Inode) logPageIndex(pg uint64) int {
+	for i, b := range in.logPages {
+		if b == pg {
+			return i
+		}
+	}
+	return -1
+}
+
+// freeSlotsLocked counts how many entries can be appended before a page
+// allocation is needed: the slots left in the (pending) tail page plus
+// every slot of the spare pages already linked after it.
+func (in *Inode) freeSlotsLocked() int {
+	tail := in.pendingTail()
+	idx := in.logPageIndex(pageOfOff(tail))
+	if idx < 0 {
+		panic(fmt.Sprintf("nova: inode %d tail page missing from page list", in.ino))
+	}
+	free := EntriesPerLogPage - slotIndex(tail)
+	free += (len(in.logPages) - idx - 1) * EntriesPerLogPage
+	return free
+}
+
+// ensureLogSpaceLocked pre-extends the log chain until at least n entry
+// appends can proceed without allocating. The spare pages are linked and
+// persisted immediately, but the commit point stays the inode tail, so a
+// crash leaves at worst empty pages past the tail — the same shape as a
+// crash between page link and entry commit on the normal append path,
+// which recovery's end-of-mount fast-GC sweep already reclaims. Callers
+// use it to (a) make a multi-entry transaction all-or-nothing with respect
+// to ENOSPC and (b) keep page allocation out of the fence-batched relink
+// append loop. The inode lock must be held.
+func (fs *FS) ensureLogSpaceLocked(in *Inode, n int) error {
+	for free := in.freeSlotsLocked(); free < n; free += EntriesPerLogPage {
 		np, err := fs.alloc.Alloc(int(in.ino), 1)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		fs.initLogPage(np, 0)
 		last := in.logPages[len(in.logPages)-1]
 		fs.setLogPageNext(last, np)
 		in.logPages = append(in.logPages, np)
 		in.live[np] = 0
-		tail = np * PageSize
 	}
-	fs.Dev.Write(int64(tail), rec)
-	fs.Dev.Persist(int64(tail), EntrySize)
-	in.pending = tail + EntrySize
-	return tail, nil
+	return nil
 }
 
 // pendingTail returns where the next entry will be appended: the committed

@@ -369,6 +369,8 @@ func (fs *FS) scanInodeTable(workers int) ([]*Inode, error) {
 				}
 				if di.Dir {
 					in.names = make(map[string]uint64)
+				} else {
+					in.stage = newStageBuf()
 				}
 				shardInodes[w] = append(shardInodes[w], in)
 			}

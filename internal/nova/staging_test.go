@@ -1,0 +1,466 @@
+package nova
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"denova/internal/pmem"
+)
+
+// --- Split write path: staging, relink, and their interactions ---
+
+func TestStageWriteReadOverlay(t *testing.T) {
+	t.Parallel()
+	_, fs := mkfsT(t)
+	base := patternData(PageSize+100, 1)
+	in := writeFileT(t, fs, "f", base)
+
+	// Overwrite the middle and append past EOF — both stay in DRAM.
+	over := patternData(200, 2)
+	if n, err := fs.StageWrite(in, 50, over, FlagNone); err != nil || n != len(over) {
+		t.Fatalf("StageWrite = %d, %v", n, err)
+	}
+	app := patternData(300, 3)
+	appOff := uint64(len(base))
+	if _, err := fs.StageWrite(in, appOff, app, FlagNone); err != nil {
+		t.Fatal(err)
+	}
+
+	model := make([]byte, int(appOff)+len(app))
+	copy(model, base)
+	copy(model[50:], over)
+	copy(model[appOff:], app)
+
+	// The overlay is visible to reads and Size before any PM commit.
+	if got := in.Size(); got != uint64(len(model)) {
+		t.Fatalf("staged Size = %d, want %d", got, len(model))
+	}
+	if got := readFileT(t, fs, in, 0, len(model)+64); !bytes.Equal(got, model) {
+		t.Fatal("staged read does not match model")
+	}
+	if st := fs.Stats(); st.Writes != 1 || st.Relinks != 0 {
+		t.Fatalf("staging touched the log: %+v", st)
+	}
+
+	// Relink commits it; content and size are unchanged, now durable.
+	runs, err := fs.Relink(in)
+	if err != nil || runs == 0 {
+		t.Fatalf("Relink = %d, %v", runs, err)
+	}
+	if in.StagedPages() != 0 {
+		t.Fatalf("%d pages staged after relink", in.StagedPages())
+	}
+	if got := readFileT(t, fs, in, 0, len(model)+64); !bytes.Equal(got, model) {
+		t.Fatal("post-relink read does not match model")
+	}
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}
+
+// TestRelinkBatchesFences is the mechanism claim: N staged appends relink
+// with far fewer fences than N slow-path writes (one fence orders the whole
+// batch; the slow path fences per write).
+func TestRelinkBatchesFences(t *testing.T) {
+	t.Parallel()
+	const batch = 8
+	dev, fs := mkfsT(t)
+	slow, err := fs.Create("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := dev.Stats().Fences
+	for i := 0; i < batch; i++ {
+		if _, err := fs.Write(slow, uint64(i)*PageSize, patternData(PageSize, byte(i)), FlagNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slowFences := dev.Stats().Fences - f0
+
+	fast, err := fs.Create("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := dev.Stats().Fences
+	for i := 0; i < batch; i++ {
+		if _, err := fs.StageWrite(fast, uint64(i)*PageSize, patternData(PageSize, byte(i)), FlagNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := fs.Relink(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastFences := dev.Stats().Fences - f1
+
+	if runs != 1 {
+		t.Errorf("8 contiguous staged pages relinked as %d runs, want 1", runs)
+	}
+	if fastFences*4 > slowFences {
+		t.Errorf("fences: staged batch %d vs slow path %d — less than 4x better", fastFences, slowFences)
+	}
+	// Same bytes either way.
+	want := readFileT(t, fs, slow, 0, batch*PageSize)
+	if got := readFileT(t, fs, fast, 0, batch*PageSize); !bytes.Equal(got, want) {
+		t.Fatal("fast-path content diverges from slow path")
+	}
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}
+
+// TestRelinkSparseExtents: discontiguous staged pages become one entry per
+// contiguous run, and the holes between them read as zeros.
+func TestRelinkSparseExtents(t *testing.T) {
+	t.Parallel()
+	_, fs := mkfsT(t)
+	in, err := fs.Create("sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make([]byte, 11*PageSize)
+	for _, pg := range []uint64{0, 1, 5, 9, 10} {
+		data := patternData(PageSize, byte(pg))
+		if _, err := fs.StageWrite(in, pg*PageSize, data, FlagNone); err != nil {
+			t.Fatal(err)
+		}
+		copy(model[pg*PageSize:], data)
+	}
+	runs, err := fs.Relink(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 3 { // {0,1} {5} {9,10}
+		t.Errorf("relink runs = %d, want 3", runs)
+	}
+	if st := fs.Stats(); st.RelinkPages != 5 {
+		t.Errorf("RelinkPages = %d, want 5", st.RelinkPages)
+	}
+	if got := readFileT(t, fs, in, 0, len(model)); !bytes.Equal(got, model) {
+		t.Fatal("sparse relink content mismatch (holes must read zero)")
+	}
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}
+
+// TestStagingRandomOracle mixes slow-path writes, staged writes, relinks
+// and truncates against a flat byte-slice model, then survives a remount.
+func TestStagingRandomOracle(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dev, fs := mkfsT(t)
+		in, err := fs.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var model []byte
+		extend := func(end int) {
+			if end > len(model) {
+				model = append(model, make([]byte, end-len(model))...)
+			}
+		}
+		for op := 0; op < 60; op++ {
+			off := rng.Intn(24 * PageSize)
+			n := 1 + rng.Intn(3*PageSize)
+			data := patternData(n, byte(rng.Intn(256)))
+			switch rng.Intn(5) {
+			case 0: // slow path (quiesces staging internally)
+				if _, err := fs.Write(in, uint64(off), data, FlagNone); err != nil {
+					t.Fatalf("seed %d op %d: write: %v", seed, op, err)
+				}
+			case 1, 2: // fast path
+				if _, err := fs.StageWrite(in, uint64(off), data, FlagNone); err != nil {
+					t.Fatalf("seed %d op %d: stage: %v", seed, op, err)
+				}
+			case 3:
+				if _, err := fs.Relink(in); err != nil {
+					t.Fatalf("seed %d op %d: relink: %v", seed, op, err)
+				}
+				continue
+			case 4:
+				cut := rng.Intn(20 * PageSize)
+				if err := fs.Truncate(in, uint64(cut), FlagNone); err != nil {
+					t.Fatalf("seed %d op %d: truncate: %v", seed, op, err)
+				}
+				if cut < len(model) {
+					model = model[:cut]
+				} else {
+					extend(cut)
+				}
+				continue
+			}
+			extend(off + n)
+			copy(model[off:], data)
+		}
+		if got := readFileT(t, fs, in, 0, len(model)+PageSize); !bytes.Equal(got, model) {
+			t.Fatalf("seed %d: content diverged from model", seed)
+		}
+		if err := fs.Fsck(nil); err != nil {
+			t.Fatalf("seed %d: fsck: %v", seed, err)
+		}
+		// Unmount relinks any staged residue; everything must survive.
+		if err := fs.Unmount(); err != nil {
+			t.Fatalf("seed %d: unmount: %v", seed, err)
+		}
+		fs2, _, err := Mount(dev)
+		if err != nil {
+			t.Fatalf("seed %d: remount: %v", seed, err)
+		}
+		in2, err := fs2.Lookup("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := readFileT(t, fs2, in2, 0, len(model)+PageSize); !bytes.Equal(got, model) {
+			t.Fatalf("seed %d: content diverged after remount", seed)
+		}
+		if err := fs2.Fsck(nil); err != nil {
+			t.Fatalf("seed %d: post-remount fsck: %v", seed, err)
+		}
+	}
+}
+
+// TestEnsureLogSpaceSparesSurviveGC: pre-linked spare log pages (reserved
+// ahead of the tail) must survive both fast and thorough GC — freeing them
+// would dangle the tail page's persistent next pointer.
+func TestEnsureLogSpaceSpares(t *testing.T) {
+	t.Parallel()
+	_, fs := mkfsT(t)
+	in := writeFileT(t, fs, "f", patternData(PageSize, 9))
+
+	// Reserve far more slots than the tail page holds: spare pages get
+	// linked past the tail.
+	in.mu.Lock()
+	err := fs.ensureLogSpaceLocked(in, 2*EntriesPerLogPage+5)
+	before := len(in.logPages)
+	in.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before < 3 {
+		t.Fatalf("reservation linked %d pages, want >= 3", before)
+	}
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatalf("fsck with spares: %v", err)
+	}
+
+	// Appends must walk into the spares without allocating new pages.
+	for i := 0; i < 2*EntriesPerLogPage; i++ {
+		if _, err := fs.Write(in, 0, patternData(64, byte(i)), FlagNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatalf("fsck after spare appends: %v", err)
+	}
+
+	// Thorough GC must carry remaining spares over, not free them.
+	fs.ForceThoroughGC(in)
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatalf("fsck after thorough GC: %v", err)
+	}
+	if got := readFileT(t, fs, in, 0, PageSize); got[0] != patternData(64, byte(2*EntriesPerLogPage-1))[0] {
+		t.Fatal("content lost across GC with spares")
+	}
+}
+
+// TestDeleteDiscardsStaging: staged-only data dies with the file; nothing
+// was allocated for it, so the allocator balance is exactly restored.
+func TestDeleteDiscardsStaging(t *testing.T) {
+	t.Parallel()
+	_, fs := mkfsT(t)
+	free0 := fs.alloc.FreeBlocks()
+	in, err := fs.Create("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.StageWrite(in, 0, patternData(4*PageSize, 7), FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if free1 := fs.alloc.FreeBlocks(); free1 != free0 {
+		t.Errorf("free blocks %d -> %d: staged-only delete leaked", free0, free1)
+	}
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}
+
+// TestTruncateQuiescesStaging: a truncate below staged data must not let
+// replay resurrect the staged bytes past the cut.
+func TestTruncateQuiescesStaging(t *testing.T) {
+	t.Parallel()
+	dev, fs := mkfsT(t)
+	in := writeFileT(t, fs, "f", patternData(PageSize, 1))
+	if _, err := fs.StageWrite(in, PageSize, patternData(4*PageSize, 2), FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	const cut = PageSize + 100
+	if err := fs.Truncate(in, cut, FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Size(); got != cut {
+		t.Fatalf("size = %d, want %d", got, cut)
+	}
+	want := patternData(PageSize, 1)
+	want = append(want, patternData(4*PageSize, 2)[:100]...)
+	if got := readFileT(t, fs, in, 0, 6*PageSize); !bytes.Equal(got, want) {
+		t.Fatal("truncate-over-staging content mismatch")
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, _, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := fs2.Lookup("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readFileT(t, fs2, in2, 0, 6*PageSize); !bytes.Equal(got, want) {
+		t.Fatal("staged bytes resurrected past truncate after remount")
+	}
+	if err := fs2.Fsck(nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}
+
+// TestRelinkENOSPCKeepsStaging: a failed relink must leave the staged data
+// intact and readable, and leak nothing.
+func TestRelinkENOSPCKeepsStaging(t *testing.T) {
+	t.Parallel()
+	_, fs := mkfsT(t)
+	in, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged := patternData(2*PageSize, 5)
+	if _, err := fs.StageWrite(in, 0, staged, FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the allocator completely.
+	var hoard []uint64
+	for {
+		b, err := fs.alloc.Alloc(0, 1)
+		if err != nil {
+			break
+		}
+		hoard = append(hoard, b)
+	}
+	free0 := fs.alloc.FreeBlocks()
+	if _, err := fs.Relink(in); err == nil {
+		t.Fatal("relink succeeded with zero free blocks")
+	}
+	if got := fs.alloc.FreeBlocks(); got != free0 {
+		t.Errorf("failed relink moved free count %d -> %d", free0, got)
+	}
+	if in.StagedPages() != 2 {
+		t.Errorf("failed relink dropped staging: %d pages", in.StagedPages())
+	}
+	if got := readFileT(t, fs, in, 0, len(staged)); !bytes.Equal(got, staged) {
+		t.Fatal("staged data unreadable after failed relink")
+	}
+	// Free space; the retry must drain the same bytes.
+	for _, b := range hoard {
+		fs.alloc.Free(b, 1)
+	}
+	if runs, err := fs.Relink(in); err != nil || runs != 1 {
+		t.Fatalf("retry relink = %d, %v", runs, err)
+	}
+	if got := readFileT(t, fs, in, 0, len(staged)); !bytes.Equal(got, staged) {
+		t.Fatal("content mismatch after retried relink")
+	}
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}
+
+// TestTruncateENOSPCNoBlockLeak is the error-path audit regression: a
+// truncate that needs a tail-remap block but cannot get one must fail
+// cleanly — no leaked block, no dangling pending append, file untouched.
+func TestTruncateENOSPCNoBlockLeak(t *testing.T) {
+	t.Parallel()
+	_, fs := mkfsT(t)
+	in := writeFileT(t, fs, "f", patternData(2*PageSize, 3))
+
+	hoard := make(map[uint64]bool)
+	for {
+		b, err := fs.alloc.Alloc(0, 1)
+		if err != nil {
+			break
+		}
+		hoard[b] = true
+	}
+	free0 := fs.alloc.FreeBlocks()
+	// Mid-page cut into a mapped page forces the CoW tail remap.
+	if err := fs.Truncate(in, PageSize+7, FlagNone); err == nil {
+		t.Fatal("truncate succeeded with zero free blocks")
+	}
+	if got := fs.alloc.FreeBlocks(); got != free0 {
+		t.Errorf("failed truncate moved free count %d -> %d", free0, got)
+	}
+	in.mu.RLock()
+	pending := in.pending
+	in.mu.RUnlock()
+	if pending != 0 {
+		t.Errorf("failed truncate left pending append at %#x", pending)
+	}
+	if got := in.Size(); got != 2*PageSize {
+		t.Errorf("failed truncate changed size to %d", got)
+	}
+	// Hoarded blocks are "held" for fsck purposes (the test is the holder);
+	// any OTHER unaccounted block is a real leak from the failed truncate.
+	if err := fs.Fsck(func(b uint64) bool { return hoard[b] }); err != nil {
+		t.Fatalf("fsck after failed truncate: %v", err)
+	}
+
+	for b := range hoard {
+		fs.alloc.Free(b, 1)
+	}
+	if err := fs.Truncate(in, PageSize+7, FlagNone); err != nil {
+		t.Fatalf("retry truncate: %v", err)
+	}
+	want := patternData(2*PageSize, 3)[:PageSize+7]
+	if got := readFileT(t, fs, in, 0, 2*PageSize); !bytes.Equal(got, want) {
+		t.Fatal("content mismatch after retried truncate")
+	}
+	if err := fs.Fsck(nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}
+
+// TestCrashBeforeRelinkLosesOnlyStaged: a power cut with data staged but
+// not relinked recovers to exactly the pre-staging state — DRAM staging
+// must be invisible to the persistent image.
+func TestCrashBeforeRelinkLosesOnlyStaged(t *testing.T) {
+	t.Parallel()
+	dev, fs := mkfsT(t)
+	base := patternData(2*PageSize, 1)
+	in := writeFileT(t, fs, "f", base)
+	if _, err := fs.StageWrite(in, uint64(len(base)), patternData(3*PageSize, 2), FlagNone); err != nil {
+		t.Fatal(err)
+	}
+	img := dev.CrashImage(pmem.CrashDropDirty, 0)
+	fs2, _, err := Mount(img)
+	if err != nil {
+		t.Fatalf("recovery mount: %v", err)
+	}
+	in2, err := fs2.Lookup("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in2.Size(); got != uint64(len(base)) {
+		t.Fatalf("recovered size = %d, want %d (staged bytes leaked or base lost)", got, len(base))
+	}
+	if got := readFileT(t, fs2, in2, 0, 6*PageSize); !bytes.Equal(got, base) {
+		t.Fatal("recovered content is not exactly the committed base")
+	}
+	if err := fs2.Fsck(nil); err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+}

@@ -69,6 +69,11 @@ func (fs *FS) Truncate(in *Inode, size uint64, flag uint8) error {
 	if in.dir {
 		return fmt.Errorf("truncate: inode %d: %w", in.ino, ErrIsDir)
 	}
+	// Quiesce the fast path: staged data must reach the log before the
+	// truncate entry, or replay order would resurrect it past the cut.
+	if _, err := fs.relinkLocked(in); err != nil {
+		return err
+	}
 	if size == in.size {
 		return nil
 	}
@@ -80,30 +85,45 @@ func (fs *FS) Truncate(in *Inode, size uint64, flag uint8) error {
 			o.Tracer.Emit(obs.OpTruncate, in.ino, size, d)
 		}()
 	}
-	var tailRemap *WriteEntry
+	needRemap := false
+	var remapPg uint64
 	if size < in.size && size%PageSize != 0 {
-		pg := size / PageSize
-		if _, _, ok := in.Mapping(pg); ok {
-			buf := make([]byte, PageSize)
-			fs.readPageInto(in, pg, buf)
-			for i := size % PageSize; i < PageSize; i++ {
-				buf[i] = 0
-			}
-			block, err := fs.alloc.Alloc(int(in.ino), 1)
-			if err != nil {
-				return err
-			}
-			fs.Dev.WriteNT(int64(block)*PageSize, buf)
-			tailRemap = &WriteEntry{
-				DedupeFlag: flag,
-				NumPages:   1,
-				PgOff:      pg,
-				Block:      block,
-				EndOff:     size,
-				Ino:        in.ino,
-				Mtime:      fs.tick(),
-				Seq:        fs.nextSeq(),
-			}
+		remapPg = size / PageSize
+		_, _, needRemap = in.Mapping(remapPg)
+	}
+	// Reserve every log slot of the transaction before allocating or
+	// appending anything: the tail-remap and truncate entries commit
+	// together, and running out of log space between the two appends must
+	// be impossible — it would leak the remap block and leave a dangling
+	// uncommitted append for the next commit to publish as a half-truncate.
+	slots := 1
+	if needRemap {
+		slots = 2
+	}
+	if err := fs.ensureLogSpaceLocked(in, slots); err != nil {
+		return err
+	}
+	var tailRemap *WriteEntry
+	if needRemap {
+		buf := make([]byte, PageSize)
+		fs.readPageInto(in, remapPg, buf)
+		for i := size % PageSize; i < PageSize; i++ {
+			buf[i] = 0
+		}
+		block, err := fs.alloc.Alloc(int(in.ino), 1)
+		if err != nil {
+			return err
+		}
+		fs.Dev.WriteNT(int64(block)*PageSize, buf)
+		tailRemap = &WriteEntry{
+			DedupeFlag: flag,
+			NumPages:   1,
+			PgOff:      remapPg,
+			Block:      block,
+			EndOff:     size,
+			Ino:        in.ino,
+			Mtime:      fs.tick(),
+			Seq:        fs.nextSeq(),
 		}
 	}
 	var tailEntryOff uint64
@@ -117,6 +137,13 @@ func (fs *FS) Truncate(in *Inode, size uint64, flag uint8) error {
 	}
 	truncOff, err := fs.appendEntryLocked(in, encodeTruncateEntry(in.ino, size, fs.nextSeq()))
 	if err != nil {
+		// Unreachable after the slot reservation, but keep the transaction
+		// leak-free regardless: nothing appended so far is committed, so
+		// dropping the pending cursor and the remap block aborts cleanly.
+		if tailRemap != nil {
+			in.pending = 0
+			fs.alloc.Free(tailRemap.Block, 1)
+		}
 		return err
 	}
 	fs.commitTailLocked(in)

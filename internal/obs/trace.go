@@ -58,6 +58,12 @@ const (
 	OpScrub
 	OpRecoveryPass
 	OpCrash
+	OpStageWrite
+	OpRelink
+	OpRelinkAlloc
+	OpRelinkFill
+	OpRelinkLog
+	OpRelinkInstall
 	opMax
 )
 
@@ -85,6 +91,12 @@ var opNames = [...]string{
 	OpScrub:            "dedup.scrub",
 	OpRecoveryPass:     "recovery.pass",
 	OpCrash:            "crash",
+	OpStageWrite:       "nova.write.stage",
+	OpRelink:           "nova.write.relink",
+	OpRelinkAlloc:      "nova.write.relink.alloc",
+	OpRelinkFill:       "nova.write.relink.fill",
+	OpRelinkLog:        "nova.write.relink.log_commit",
+	OpRelinkInstall:    "nova.write.relink.install",
 }
 
 func (o Op) String() string {

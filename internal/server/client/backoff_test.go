@@ -1,0 +1,82 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testClient(seed int64) *Client {
+	c := &Client{opts: Options{RetrySeed: seed}.withDefaults()}
+	c.rng = rand.New(rand.NewSource(c.opts.RetrySeed))
+	return c
+}
+
+// backoffSeq draws the first n sleeps a client would use after consecutive
+// sheds (the same recurrence call() runs).
+func backoffSeq(c *Client, n int) []time.Duration {
+	seq := make([]time.Duration, n)
+	b := c.opts.RetryBase
+	for i := range seq {
+		seq[i] = b
+		b = c.nextBackoff(b)
+	}
+	return seq
+}
+
+// TestBackoffDecorrelates: clients shed at the same instant must not
+// resend in lockstep. With the old pure doubling every client computed the
+// identical sequence; with seeded jitter the sequences diverge.
+func TestBackoffDecorrelates(t *testing.T) {
+	t.Parallel()
+	const rounds = 16
+	a := backoffSeq(testClient(1), rounds)
+	b := backoffSeq(testClient(2), rounds)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	// Round 0 is always RetryBase for everyone; past that, collisions
+	// should be the exception, not the rule.
+	if same > rounds/2 {
+		t.Fatalf("differently-seeded clients collided on %d/%d rounds: still lockstep", same, rounds)
+	}
+}
+
+// TestBackoffDeterministicSeed: a fixed seed reproduces the exact sequence,
+// so shed-storm tests can assert timing-sensitive behavior reliably.
+func TestBackoffDeterministicSeed(t *testing.T) {
+	t.Parallel()
+	a := backoffSeq(testClient(7), 16)
+	b := backoffSeq(testClient(7), 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d: %v != %v with identical seed", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBackoffBounds: every draw stays within [base, 100*base], and the
+// decorrelated window actually opens up (the sequence is not constant).
+func TestBackoffBounds(t *testing.T) {
+	t.Parallel()
+	c := testClient(99)
+	base := c.opts.RetryBase
+	prev := base
+	grew := false
+	for i := 0; i < 1000; i++ {
+		d := c.nextBackoff(prev)
+		if d < base || d > 100*base {
+			t.Fatalf("round %d: backoff %v outside [%v, %v]", i, d, base, 100*base)
+		}
+		if d > prev {
+			grew = true
+		}
+		prev = d
+	}
+	if !grew {
+		t.Fatal("backoff never exceeded its previous value: window not opening")
+	}
+}

@@ -5,8 +5,9 @@
 // the way the server's scheduler expects.
 //
 // StatusRetry sheds from the server's admission control are handled inside
-// the client: the call backs off (exponential, bounded) and resends, and
-// only a persistent shed surfaces to the caller as denova.ErrRetry. All
+// the client: the call backs off (decorrelated jitter, bounded) and
+// resends, and only a persistent shed surfaces to the caller as
+// denova.ErrRetry. All
 // other non-OK statuses surface as the matching public denova sentinel
 // (errors.Is-compatible), so code written against the local API ports to
 // the network API unchanged.
@@ -14,6 +15,7 @@ package client
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -28,9 +30,14 @@ type Options struct {
 	// RetryBudget is how many times a call resends after a StatusRetry
 	// shed before giving up with ErrRetry. Default 32.
 	RetryBudget int
-	// RetryBase is the first backoff; it doubles per shed, capped at
-	// 100x. Default 200µs.
+	// RetryBase is the first backoff. Subsequent backoffs use decorrelated
+	// jitter: uniform in [RetryBase, min(3*previous, 100*RetryBase)], so a
+	// burst of clients shed together does not resend in lockstep and hammer
+	// admission control at the same instants. Default 200µs.
 	RetryBase time.Duration
+	// RetrySeed seeds the jitter RNG; 0 seeds from the clock. Fixed seeds
+	// make backoff sequences reproducible in tests.
+	RetrySeed int64
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +62,9 @@ type Client struct {
 	pending map[uint64]chan *wire.Response
 	dead    error // set once the read loop exits; guarded by pmu
 
+	rmu sync.Mutex // guards rng (math/rand.Rand is not goroutine-safe)
+	rng *rand.Rand
+
 	nextID atomic.Uint64
 }
 
@@ -69,6 +79,11 @@ func Dial(addr string, opts Options) (*Client, error) {
 		opts:    opts.withDefaults(),
 		pending: make(map[uint64]chan *wire.Response),
 	}
+	seed := c.opts.RetrySeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c.rng = rand.New(rand.NewSource(seed))
 	go c.readLoop()
 	return c, nil
 }
@@ -147,6 +162,25 @@ func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
 	return resp, nil
 }
 
+// nextBackoff draws the next sleep with decorrelated jitter: uniform in
+// [base, min(3*prev, 100*base)]. Pure exponential doubling keeps a burst
+// of simultaneously-shed clients in lockstep — every survivor of round k
+// resends at the same instant in round k+1, re-creating the very overload
+// that shed them. Jitter spreads each round across the window instead.
+func (c *Client) nextBackoff(prev time.Duration) time.Duration {
+	base := c.opts.RetryBase
+	hi := 3 * prev
+	if max := 100 * base; hi > max {
+		hi = max
+	}
+	if hi <= base {
+		return base
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return base + time.Duration(c.rng.Int63n(int64(hi-base)+1))
+}
+
 // call runs roundTrip with the retry loop for admission-control sheds.
 func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 	backoff := c.opts.RetryBase
@@ -157,9 +191,7 @@ func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 		}
 		if resp.Status == wire.StatusRetry && attempt < c.opts.RetryBudget {
 			time.Sleep(backoff)
-			if backoff < 100*c.opts.RetryBase {
-				backoff *= 2
-			}
+			backoff = c.nextBackoff(backoff)
 			continue
 		}
 		if resp.Status != wire.StatusOK {
@@ -223,13 +255,26 @@ func (c *Client) Mkdir(path string) error {
 	return err
 }
 
-// Readdir lists a directory ("" for the root).
+// Readdir lists a directory ("" for the root), following READDIR cookies
+// until the listing is complete, so directories of any size come back
+// whole regardless of the server's page size or the frame budget.
 func (c *Client) Readdir(path string) ([]string, error) {
-	resp, err := c.call(&wire.Request{Op: wire.OpReaddir, Path: path})
-	if err != nil {
-		return nil, err
+	var names []string
+	cookie := uint32(0)
+	for {
+		resp, err := c.call(&wire.Request{Op: wire.OpReaddir, Path: path, Cookie: cookie})
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, resp.Names...)
+		if resp.Next == 0 {
+			return names, nil
+		}
+		if resp.Next <= cookie {
+			return nil, fmt.Errorf("denova client: readdir cookie stuck at %d", resp.Next)
+		}
+		cookie = resp.Next
 	}
-	return resp.Names, nil
 }
 
 // Stat returns a handle's current metadata.

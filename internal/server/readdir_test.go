@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"denova"
+	"denova/internal/server/client"
+	"denova/internal/server/wire"
+)
+
+// TestPageNames pins the pagination helper: page-count slicing, cookie
+// resumption, termination, and out-of-range cookies.
+func TestPageNames(t *testing.T) {
+	t.Parallel()
+	names := make([]string, 25)
+	for i := range names {
+		names[i] = fmt.Sprintf("n-%02d", i)
+	}
+
+	var got []string
+	cookie, pages := uint32(0), 0
+	for {
+		page, next := pageNames(names, cookie, 7)
+		got = append(got, page...)
+		pages++
+		if next == 0 {
+			break
+		}
+		if next <= cookie {
+			t.Fatalf("cookie did not advance: %d -> %d", cookie, next)
+		}
+		cookie = next
+	}
+	if pages != 4 { // 7+7+7+4
+		t.Errorf("25 names at page 7 took %d pages, want 4", pages)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(names) {
+		t.Errorf("paged walk lost or reordered names:\n got %v\nwant %v", got, names)
+	}
+
+	// Out-of-range and boundary cookies terminate cleanly.
+	if page, next := pageNames(names, uint32(len(names)), 7); len(page) != 0 || next != 0 {
+		t.Errorf("cookie at end = %d names, next %d", len(page), next)
+	}
+	if page, next := pageNames(names, ^uint32(0), 7); len(page) != 0 || next != 0 {
+		t.Errorf("hostile cookie = %d names, next %d", len(page), next)
+	}
+	if page, next := pageNames(nil, 0, 7); len(page) != 0 || next != 0 {
+		t.Errorf("empty dir = %d names, next %d", len(page), next)
+	}
+	// A page covering the whole list needs no continuation cookie.
+	if page, next := pageNames(names, 0, 100); len(page) != len(names) || next != 0 {
+		t.Errorf("single page = %d names, next %d", len(page), next)
+	}
+}
+
+// TestPageNamesByteBudget: a page is cut early when the names alone would
+// overflow the frame, even if the entry count allows more, and a single
+// oversized name still makes progress (one entry per page, never zero).
+func TestPageNamesByteBudget(t *testing.T) {
+	t.Parallel()
+	// 600 names of 16 KiB is ~9.4 MiB on the wire — more than one frame.
+	big := strings.Repeat("x", 1<<14)
+	names := make([]string, 600)
+	for i := range names {
+		names[i] = fmt.Sprintf("%05d-%s", i, big)
+	}
+	total := 0
+	cookie, pages := uint32(0), 0
+	for {
+		page, next := pageNames(names, cookie, len(names))
+		if len(page) == 0 {
+			t.Fatal("empty page with names remaining: no forward progress")
+		}
+		bytes := 0
+		for _, n := range page {
+			bytes += 2 + len(n)
+		}
+		if bytes > readdirByteBudget {
+			t.Fatalf("page of %d bytes exceeds budget %d", bytes, readdirByteBudget)
+		}
+		total += len(page)
+		pages++
+		if next == 0 {
+			break
+		}
+		cookie = next
+	}
+	if total != len(names) {
+		t.Errorf("walk returned %d names, want %d", total, len(names))
+	}
+	if pages < 2 {
+		t.Errorf("9 MiB of names fit %d page(s); budget not applied", pages)
+	}
+}
+
+// TestServeReaddirPagination is the large-directory regression test: before
+// cookies, READDIR returned the whole directory in one frame, which cannot
+// scale past the frame budget. Now the server pages (verified on the raw
+// wire) and the client reassembles the full listing transparently.
+func TestServeReaddirPagination(t *testing.T) {
+	_, _, addr := startServer(t,
+		Config{ReaddirPage: 7}, denova.ModeImmediate, denova.ProfileZero)
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Mkdir("big"); err != nil {
+		t.Fatal(err)
+	}
+	const files = 100
+	want := make([]string, files)
+	for i := 0; i < files; i++ {
+		want[i] = fmt.Sprintf("f-%03d", i)
+		if _, err := c.Create("big/" + want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(want)
+
+	// Raw wire: the first page really is a page, not the whole directory.
+	rc := dialRaw(t, addr)
+	rc.send(&wire.Request{Op: wire.OpReaddir, Path: "big"})
+	first := rc.recv()
+	if first.Status != wire.StatusOK {
+		t.Fatalf("readdir: %v %s", first.Status, first.Msg)
+	}
+	if len(first.Names) != 7 || first.Next != 7 {
+		t.Fatalf("first page = %d names, next %d; want 7, 7", len(first.Names), first.Next)
+	}
+	// Resuming mid-listing continues exactly where the cookie points.
+	rc.send(&wire.Request{Op: wire.OpReaddir, Path: "big", Cookie: first.Next})
+	second := rc.recv()
+	if second.Status != wire.StatusOK || len(second.Names) != 7 {
+		t.Fatalf("second page = %d names, %v %s", len(second.Names), second.Status, second.Msg)
+	}
+	if second.Names[0] != want[7] {
+		t.Fatalf("second page starts at %q, want %q", second.Names[0], want[7])
+	}
+	// A stale cookie past the end is an empty terminal page, not an error.
+	rc.send(&wire.Request{Op: wire.OpReaddir, Path: "big", Cookie: files + 50})
+	if resp := rc.recv(); resp.Status != wire.StatusOK || len(resp.Names) != 0 || resp.Next != 0 {
+		t.Fatalf("past-end cookie = %d names, next %d, %v", len(resp.Names), resp.Next, resp.Status)
+	}
+
+	// Client: the cookie loop reassembles the complete sorted listing.
+	names, err := c.Readdir("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("client readdir lost entries: got %d names, want %d", len(names), files)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"math"
 	"runtime"
+	"sort"
 	"time"
 
 	"denova"
@@ -29,6 +30,36 @@ func defaultWorkers() int {
 
 // maxReadSize bounds one READ's result so the response always fits a frame.
 const maxReadSize = wire.MaxFrame - 64
+
+// readdirByteBudget bounds one READDIR page's name payload (u16 length
+// prefix + bytes per name) so the response always fits a frame.
+const readdirByteBudget = wire.MaxFrame - 64
+
+// pageNames slices one READDIR page out of the sorted name list: at most
+// `page` entries starting at the cookie, further bounded by the frame byte
+// budget. The returned cookie addresses the next page (0 when the listing
+// is complete). Cookies index the sorted snapshot, so concurrent creates
+// and removes may skip or repeat entries across pages — NFS semantics.
+func pageNames(names []string, cookie uint32, page int) ([]string, uint32) {
+	if uint64(cookie) >= uint64(len(names)) {
+		return nil, 0
+	}
+	names = names[cookie:]
+	n, budget := 0, 0
+	for n < len(names) && n < page {
+		cost := 2 + len(names[n])
+		if n > 0 && budget+cost > readdirByteBudget {
+			break
+		}
+		budget += cost
+		n++
+	}
+	next := uint32(0)
+	if n < len(names) {
+		next = cookie + uint32(n)
+	}
+	return names[:n], next
+}
 
 // worker drains one queue FIFO, preserving per-shard (and therefore
 // per-file) order, and records each op's latency in serve.op.<name>.
@@ -123,7 +154,8 @@ func (s *Server) exec(req *wire.Request) *wire.Response {
 		if err != nil {
 			return fail(err)
 		}
-		resp.Names = names
+		sort.Strings(names)
+		resp.Names, resp.Next = pageNames(names, req.Cookie, s.cfg.ReaddirPage)
 	case wire.OpStat:
 		f, _, err := s.resolve(req)
 		if err != nil {

@@ -45,6 +45,11 @@ type Config struct {
 	// QueueDepth bounds each worker's queue; a full queue sheds with
 	// StatusRetry rather than blocking the connection reader. Default 64.
 	QueueDepth int
+	// ReaddirPage caps the entries returned per READDIR page; the client
+	// follows the response's next cookie for the rest. A page is further
+	// bounded by the frame byte budget regardless of this count. Default
+	// 1024.
+	ReaddirPage int
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +61,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.ReaddirPage <= 0 {
+		c.ReaddirPage = 1024
 	}
 	return c
 }

@@ -13,6 +13,14 @@
 // hostile length word cannot balloon memory. Decoding never panics:
 // truncated or malformed frames return an error.
 //
+// READDIR is paginated with an opaque cookie so a directory of any size
+// lists without ever building an oversized frame: the request carries the
+// cookie of the previous page (0 for the first call), the response carries
+// a sorted slice of names plus the cookie of the next page (0 when the
+// listing is complete). Cookies index into the server's sorted snapshot of
+// the directory; entries created or removed between pages may be missed or
+// duplicated, exactly like NFS READDIR.
+//
 // Handles are denova.Handle values — stable 64-bit inode identities issued
 // by LOOKUP/CREATE — so every data op is stateless on the server: no
 // per-connection open-file table exists, reconnecting clients keep their
@@ -40,7 +48,7 @@ const (
 	OpTruncate    // handle, size
 	OpRemove      // path
 	OpMkdir       // path
-	OpReaddir     // path -> names
+	OpReaddir     // path, cookie -> one page of names + next cookie
 	OpStat        // handle -> info
 	OpCommit      // drain the dedup pipeline to a quiesced state
 	numOps
@@ -189,6 +197,7 @@ type Request struct {
 	Off    uint64        // read, write
 	Size   uint64        // read (length), truncate (target size)
 	Data   []byte        // write payload
+	Cookie uint32        // readdir: resume cursor (0 = first page)
 }
 
 // FileInfo is the wire form of file metadata.
@@ -210,7 +219,8 @@ type Response struct {
 	Info   FileInfo      // lookup, stat
 	N      uint32        // write: bytes accepted
 	Data   []byte        // read result
-	Names  []string      // readdir result
+	Names  []string      // readdir result (one page)
+	Next   uint32        // readdir: cookie of the next page (0 = done)
 }
 
 // MaxFrame is the largest payload a peer will accept. It bounds one WRITE
@@ -322,11 +332,17 @@ func EncodeRequest(req *Request) ([]byte, error) {
 	b = append(b, byte(req.Op))
 	var err error
 	switch req.Op {
-	case OpLookup, OpCreate, OpRemove, OpMkdir, OpReaddir:
+	case OpLookup, OpCreate, OpRemove, OpMkdir:
 		b, err = appendString(b, req.Path)
 		if err != nil {
 			return nil, err
 		}
+	case OpReaddir:
+		b, err = appendString(b, req.Path)
+		if err != nil {
+			return nil, err
+		}
+		b = binary.LittleEndian.AppendUint32(b, req.Cookie)
 	case OpRead:
 		b = binary.LittleEndian.AppendUint64(b, uint64(req.Handle))
 		b = binary.LittleEndian.AppendUint64(b, req.Off)
@@ -369,8 +385,15 @@ func DecodeRequest(payload []byte) (*Request, error) {
 	}
 	req := &Request{ID: id, Op: op}
 	switch op {
-	case OpLookup, OpCreate, OpRemove, OpMkdir, OpReaddir:
+	case OpLookup, OpCreate, OpRemove, OpMkdir:
 		if req.Path, err = r.str(); err != nil {
+			return nil, err
+		}
+	case OpReaddir:
+		if req.Path, err = r.str(); err != nil {
+			return nil, err
+		}
+		if req.Cookie, err = r.u32(); err != nil {
 			return nil, err
 		}
 	case OpRead:
@@ -496,6 +519,7 @@ func EncodeResponse(resp *Response) ([]byte, error) {
 		if len(resp.Names) > maxNames {
 			return nil, fmt.Errorf("wire: %d readdir entries exceed %d", len(resp.Names), maxNames)
 		}
+		b = binary.LittleEndian.AppendUint32(b, resp.Next)
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(resp.Names)))
 		for _, n := range resp.Names {
 			if b, err = appendString(b, n); err != nil {
@@ -571,6 +595,9 @@ func DecodeResponse(payload []byte) (*Response, error) {
 			return nil, err
 		}
 	case OpReaddir:
+		if resp.Next, err = r.u32(); err != nil {
+			return nil, err
+		}
 		n, err := r.u32()
 		if err != nil {
 			return nil, err

@@ -25,8 +25,11 @@ func randRequest(rng *rand.Rand) *Request {
 	ops := Ops()
 	req := &Request{ID: rng.Uint64(), Op: ops[rng.Intn(len(ops))]}
 	switch req.Op {
-	case OpLookup, OpCreate, OpRemove, OpMkdir, OpReaddir:
+	case OpLookup, OpCreate, OpRemove, OpMkdir:
 		req.Path = randString(rng, 64)
+	case OpReaddir:
+		req.Path = randString(rng, 64)
+		req.Cookie = rng.Uint32()
 	case OpRead:
 		req.Handle = denova.Handle(rng.Uint64())
 		req.Off = rng.Uint64() >> 16
@@ -75,6 +78,7 @@ func randResponse(rng *rand.Rand) *Response {
 		for i := 0; i < cap(resp.Names); i++ {
 			resp.Names = append(resp.Names, randString(rng, 32))
 		}
+		resp.Next = rng.Uint32()
 	}
 	return resp
 }
