@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race torture bench bench-recovery bench-json bench-append slo serve-smoke clean
+.PHONY: all build lint vet test race torture bench bench-recovery bench-json bench-append slo slowcap serve-smoke clean
 
 all: build lint test
 
@@ -64,6 +64,14 @@ bench-append:
 # see DESIGN.md §5.5.
 slo:
 	$(GO) run ./cmd/denova-bench slo
+
+# slowcap = tail-sampled slow-op capture: replay the multitenant profile
+# over the serving layer with wire trace propagation and slow-span capture
+# armed, writing SLOW_*.json in Chrome trace-event format (open in
+# chrome://tracing or ui.perfetto.dev). CI uploads it next to the SLO run's
+# BENCH_*.json so tail regressions ship with the span trees explaining them.
+slowcap:
+	$(GO) run ./cmd/denova-bench slowcap
 
 # serve-smoke = the network serving layer's end-to-end gate: start
 # denova-serve on an ephemeral loopback port, replay a workload profile

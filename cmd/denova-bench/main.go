@@ -28,13 +28,15 @@ import (
 )
 
 var (
-	scale     = flag.Float64("scale", 1.0, "workload size multiplier")
-	threads   = flag.Int("threads", 1, "writer threads for fig8/space")
-	profile   = flag.String("profile", "optane-dcpm", "device profile: optane-dcpm, dram, pcm, stt-ram, zero")
-	thinkTime = flag.Bool("think", true, "interleave think time equal to I/O time (paper §V-B1)")
-	reps      = flag.Int("reps", 3, "interleaved measurement rounds per figure cell (median reported)")
-	jsondir   = flag.String("jsondir", ".", "output directory for the json artifact's BENCH_*.json files")
-	slofile   = flag.String("slofile", "slo.json", "SLO objectives file for the slo artifact")
+	scale      = flag.Float64("scale", 1.0, "workload size multiplier")
+	threads    = flag.Int("threads", 1, "writer threads for fig8/space")
+	profile    = flag.String("profile", "optane-dcpm", "device profile: optane-dcpm, dram, pcm, stt-ram, zero")
+	thinkTime  = flag.Bool("think", true, "interleave think time equal to I/O time (paper §V-B1)")
+	reps       = flag.Int("reps", 3, "interleaved measurement rounds per figure cell (median reported)")
+	jsondir    = flag.String("jsondir", ".", "output directory for the json artifact's BENCH_*.json files")
+	slofile    = flag.String("slofile", "slo.json", "SLO objectives file for the slo artifact")
+	slowThresh = flag.Duration("slow-threshold", harness.DefaultSlowCapThreshold,
+		"slow-span capture threshold for the slowcap artifact")
 )
 
 // cell is one figure data point; sweeps measure all cells per round so that
@@ -99,7 +101,7 @@ func n(base int) int {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: denova-bench [flags] <table1|fig2|table4|fig8|fig9|fig10|fig11|fig12|model|ablations|space|overhead|wear|json|append|slo|all>")
+		fmt.Fprintln(os.Stderr, "usage: denova-bench [flags] <table1|fig2|table4|fig8|fig9|fig10|fig11|fig12|model|ablations|space|overhead|wear|json|append|slo|slowcap|all>")
 		os.Exit(2)
 	}
 	arts := map[string]func() error{
@@ -119,6 +121,7 @@ func main() {
 		"json":      benchJSON,
 		"append":    appendBench,
 		"slo":       sloGate,
+		"slowcap":   slowCap,
 	}
 	run := func(name string) {
 		fn, ok := arts[name]
@@ -215,6 +218,23 @@ func sloGate() error {
 	}
 	fmt.Printf("SLO gate passed: %d profiles within objectives (%s, margin %.0f%%)\n",
 		len(reports), *slofile, mustLoadMargin(*slofile)*100)
+	return nil
+}
+
+// slowCap replays the multitenant profile over the serving layer with full
+// tracing and slow-span capture on, writing the captured span trees as a
+// SLOW_*.json Chrome trace-event artifact into -jsondir (viewable in
+// chrome://tracing or ui.perfetto.dev). CI archives it next to the SLO
+// run's BENCH_*.json reports.
+func slowCap() error {
+	if err := os.MkdirAll(*jsondir, 0o755); err != nil {
+		return err
+	}
+	n, path, err := harness.WriteSlowCapJSON(*jsondir, *slowThresh)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d slow traces over %v)\n", path, n, *slowThresh)
 	return nil
 }
 

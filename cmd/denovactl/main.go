@@ -25,11 +25,18 @@
 //	                               live dashboard (queue depth, worker
 //	                               utilization, op-latency percentiles) over a
 //	                               generated workload; the image is not modified
-//	trace [-n 32] [-crash-after K] [-out file]
+//	trace [-n 32] [-crash-after K] [-out file] [-op substr] [-min-dur 0]
 //	                               run a traced workload and dump the most
 //	                               recent events; with -crash-after, inject a
 //	                               crash and preserve the frozen ring in an
-//	                               image sidecar (<img>.trace.json)
+//	                               image sidecar (<img>.trace.json); -op and
+//	                               -min-dur filter the printed events
+//	slow [-threshold 500us] [-out file] [-addr host:port]
+//	                               capture slow-request span trees as a Chrome
+//	                               trace-event JSON file (<img>.slow.json),
+//	                               loadable in chrome://tracing or Perfetto;
+//	                               with -addr, fetch /slow from a running
+//	                               denova-serve metrics listener instead
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -319,11 +327,12 @@ func runTop(dur, refresh time.Duration, addr string) {
 }
 
 // runTrace mounts with fine-grained tracing, runs a short traced workload
-// and prints the most recent n ring events. With crashAfter > 0 a crash is
-// injected after that many persist operations; the crash hook freezes the
-// ring, which is then preserved in a JSON sidecar next to the image for
+// and prints the most recent n ring events, optionally filtered by op-name
+// substring and minimum duration. With crashAfter > 0 a crash is injected
+// after that many persist operations; the crash hook freezes the ring,
+// which is then preserved in a JSON sidecar next to the image for
 // post-mortem analysis. The image file is never written back.
-func runTrace(n int, crashAfter int64, out string) {
+func runTrace(n int, crashAfter int64, out, opFilter string, minDur time.Duration) {
 	c := cfg()
 	c.Tracing = denova.TraceFine
 	fs, dev := mountCfg(c)
@@ -374,10 +383,103 @@ func runTrace(n int, crashAfter int64, out string) {
 			fatal(err)
 		}
 	}
-	evs := fs.TraceEvents(n)
+	// Filter over everything buffered, then keep the most recent n, so a
+	// narrow filter still fills its quota from older events.
+	evs := fs.TraceEvents(0)
+	if opFilter != "" || minDur > 0 {
+		kept := evs[:0]
+		for _, ev := range evs {
+			if opFilter != "" && !strings.Contains(ev.Op.String(), opFilter) {
+				continue
+			}
+			if ev.DurNs < minDur.Nanoseconds() {
+				continue
+			}
+			kept = append(kept, ev)
+		}
+		evs = kept
+	}
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
 	fmt.Printf("%d events (emitted %d, dropped %d):\n", len(evs), tr.Emitted(), tr.Dropped())
 	for _, ev := range evs {
 		fmt.Println(obs.FormatEvent(ev))
+	}
+}
+
+// runSlow produces a Chrome trace-event capture of slow-request span trees.
+// With addr set it fetches /slow from a live metrics listener; otherwise it
+// mounts the image with fine tracing and the given slow threshold, drives
+// the same short workload as trace, and writes whatever crossed the
+// threshold. The image file is never written back.
+func runSlow(threshold time.Duration, out, addr string) {
+	if out == "" {
+		out = *img + ".slow.json"
+	}
+	if addr != "" {
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		resp, err := http.Get(addr + "/slow")
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			fatal(fmt.Errorf("GET /slow: %s: %s", resp.Status, strings.TrimSpace(string(body))))
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := io.Copy(f, resp.Body); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fetched slow-span capture from %s → %s\n", addr, out)
+		return
+	}
+	c := cfg()
+	c.Tracing = denova.TraceFine
+	c.SlowSpanThreshold = threshold
+	fs, _ := mountCfg(c)
+	f, err := fs.Create("denovactl.slow")
+	if err == denova.ErrExist {
+		f, err = fs.Open("denovactl.slow")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	page := make([]byte, pageSize)
+	for i := uint64(0); i < 256; i++ {
+		fillPage(page, i)
+		if _, err := f.WriteAt(page, int64(i)*pageSize); err != nil {
+			fatal(err)
+		}
+	}
+	fs.Sync()
+	if err := fs.Unmount(); err != nil {
+		fatal(err)
+	}
+	slow := fs.SlowSpans()
+	sidecar, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fs.WriteSlowTrace(sidecar); err != nil {
+		fatal(err)
+	}
+	if err := sidecar.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("captured %d slow traces over %v → %s (load in chrome://tracing or ui.perfetto.dev)\n",
+		len(slow), threshold, out)
+	if len(slow) == 0 {
+		fmt.Println("(nothing crossed the threshold; try a lower -threshold or a latency-profile image)")
 	}
 }
 
@@ -385,7 +487,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: denovactl [flags] <mkfs|write|cat|ls|mkdir|rmdir|rm|stats|fsck|scrub|top|trace> [args]")
+		fmt.Fprintln(os.Stderr, "usage: denovactl [flags] <mkfs|write|cat|ls|mkdir|rmdir|rm|stats|fsck|scrub|top|trace|slow> [args]")
 		os.Exit(2)
 	}
 	switch args[0] {
@@ -570,8 +672,18 @@ func main() {
 		n := fset.Int("n", 32, "most-recent events to print (0 = all buffered)")
 		crashAfter := fset.Int64("crash-after", 0, "inject a crash after this many persist operations (0 = none)")
 		out := fset.String("out", "", "sidecar file for the frozen ring (default <img>.trace.json; crash runs only)")
+		opFilter := fset.String("op", "", "only print events whose op name contains this substring")
+		minDur := fset.Duration("min-dur", 0, "only print events at least this long (e.g. 100us)")
 		fset.Parse(args[1:])
-		runTrace(*n, *crashAfter, *out)
+		runTrace(*n, *crashAfter, *out, *opFilter, *minDur)
+
+	case "slow":
+		fset := flag.NewFlagSet("slow", flag.ExitOnError)
+		threshold := fset.Duration("threshold", 500*time.Microsecond, "capture requests slower than this")
+		out := fset.String("out", "", "output file (default <img>.slow.json)")
+		addr := fset.String("addr", "", "fetch /slow from a running metrics listener instead of mounting the image")
+		fset.Parse(args[1:])
+		runSlow(*threshold, *out, *addr)
 
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))

@@ -118,6 +118,15 @@ type Config struct {
 	// TraceEvents is the total trace ring capacity in events (default 8192).
 	// Oldest events are overwritten when the ring wraps.
 	TraceEvents int
+	// SlowSpanThreshold enables tail-sampled slow-op capture when > 0 and
+	// Tracing is at least TraceOps: any root span (a served request, or a
+	// locally-rooted FS op) whose duration reaches the threshold has its
+	// complete span tree retained in a bounded ring (see FS.SlowSpans and
+	// denovactl slow). Zero disables capture.
+	SlowSpanThreshold time.Duration
+	// SlowSpanCapacity bounds the slow-trace ring (default 64). Oldest
+	// captured traces are evicted FIFO.
+	SlowSpanCapacity int
 	// Staging tunes the SplitFS-style split write path. The zero value
 	// disables it: every WriteAt runs the five-step CoW slow path.
 	Staging StagingConfig

@@ -110,12 +110,20 @@ func (fl *File) Size() int64 { return int64(fl.in.Size()) }
 // automatic MaxPages flush, File.Sync, FS.Sync, or a metadata operation.
 // Durability-per-call callers must Sync.
 func (fl *File) WriteAt(p []byte, off int64) (int, error) {
+	return fl.WriteAtSpan(p, off, SpanContext{})
+}
+
+// WriteAtSpan is WriteAt carrying the caller's span context: the FS-level
+// write (or staged append) becomes a child span of sc, and the async dedup
+// work it enqueues stays attributed to sc's trace and tenant. The zero
+// context makes it identical to WriteAt.
+func (fl *File) WriteAtSpan(p []byte, off int64, sc SpanContext) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("write at %d: negative offset: %w", off, ErrInvalid)
 	}
 	fs := fl.fs
 	if fs.stagingOn() {
-		n, err := fs.fs.StageWrite(fl.in, uint64(off), p, fs.writeFlag())
+		n, err := fs.fs.StageWriteCtx(fl.in, uint64(off), p, fs.writeFlag(), sc)
 		if err != nil {
 			return 0, err
 		}
@@ -131,12 +139,15 @@ func (fl *File) WriteAt(p []byte, off int64) (int, error) {
 	}
 	switch fs.cfg.Mode {
 	case ModeInline:
+		// Inline dedup runs the whole pipeline synchronously in the write
+		// path; it carries no span context (the serving layer uses the
+		// offline modes).
 		if err := fs.engine.WriteInline(fl.in, uint64(off), p); err != nil {
 			return 0, err
 		}
 		return len(p), nil
 	default:
-		if _, err := fs.fs.Write(fl.in, uint64(off), p, fs.writeFlag()); err != nil {
+		if _, err := fs.fs.WriteCtx(fl.in, uint64(off), p, fs.writeFlag(), sc); err != nil {
 			return 0, err
 		}
 		return len(p), nil
@@ -166,10 +177,15 @@ func (fl *File) Sync() error {
 // ReadAt reads up to len(p) bytes at offset off, returning the number of
 // bytes read (short reads happen only at end of file).
 func (fl *File) ReadAt(p []byte, off int64) (int, error) {
+	return fl.ReadAtSpan(p, off, SpanContext{})
+}
+
+// ReadAtSpan is ReadAt carrying the caller's span context.
+func (fl *File) ReadAtSpan(p []byte, off int64, sc SpanContext) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("read at %d: negative offset: %w", off, ErrInvalid)
 	}
-	return fl.fs.fs.Read(fl.in, uint64(off), p)
+	return fl.fs.fs.ReadCtx(fl.in, uint64(off), p, sc)
 }
 
 // FileInfo describes a file, in the spirit of fs.FileInfo but with the
@@ -203,6 +219,11 @@ func infoOf(in *nova.Inode, name string) FileInfo {
 // new size (shared deduplicated pages survive through their reference
 // counts); growing extends the file with a hole that reads as zeros.
 func (fl *File) Truncate(size int64) error {
+	return fl.TruncateSpan(size, SpanContext{})
+}
+
+// TruncateSpan is Truncate carrying the caller's span context.
+func (fl *File) TruncateSpan(size int64, sc SpanContext) error {
 	if size < 0 {
 		return fmt.Errorf("truncate to %d: negative size: %w", size, ErrInvalid)
 	}
@@ -210,5 +231,5 @@ func (fl *File) Truncate(size int64) error {
 	if fl.fs.cfg.Mode == ModeImmediate || fl.fs.cfg.Mode == ModeDelayed {
 		flag = nova.FlagNeeded
 	}
-	return fl.fs.fs.Truncate(fl.in, uint64(size), flag)
+	return fl.fs.fs.TruncateCtx(fl.in, uint64(size), flag, sc)
 }

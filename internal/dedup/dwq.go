@@ -19,6 +19,15 @@ type Node struct {
 	EntryOff uint64
 	Enqueued time.Time
 
+	// Trace/Span/Tenant carry the span context of the write that enqueued
+	// the node, so the daemon's async work is attributable to the
+	// originating request. DRAM-only: the on-PM Save record stays the
+	// 16-byte (ino, entryOff) pair, so nodes restored after a crash carry
+	// a zero context — acceptable for a debugging attribution.
+	Trace  uint64
+	Span   uint64
+	Tenant uint16
+
 	// seq is a global enqueue ordinal used to reconstruct FIFO order across
 	// shards for Save (the on-PM snapshot stays a single ordered stream).
 	seq uint64
@@ -236,7 +245,7 @@ func (q *DWQ) Counts() (enq, deq int64) {
 func (q *DWQ) Peak() int { return int(atomic.LoadInt64(&q.peakLen)) }
 
 // NodeBytes is the DRAM cost of one queued node.
-const NodeBytes = 32 // ino + entry offset + enqueue timestamp
+const NodeBytes = 56 // ino + entry offset + enqueue timestamp + span context
 
 // --- Clean-shutdown persistence (§IV-B1: "On a normal shutdown, the
 // entries in the DWQ are saved to NVM and restored to DRAM after power

@@ -71,14 +71,17 @@ func (e *Engine) Stats() Stats { return e.snapshotStats() }
 func NewEngine(fs *nova.FS, table *fact.Table) *Engine {
 	e := &Engine{fs: fs, table: table, dwq: NewDWQ()}
 	fs.SetReleaser(e)
-	fs.SetWriteHook(func(in *nova.Inode, entryOff uint64) {
+	fs.SetWriteHook(func(in *nova.Inode, entryOff uint64, sc obs.SpanContext) {
 		if o := e.obs; o != nil {
 			o.Enqueues.Inc()
 			if o.Fine {
-				o.Tracer.Emit(obs.OpDedupEnqueue, in.Ino(), entryOff, 0)
+				o.Tracer.EmitSpan(obs.OpDedupEnqueue, o.Tracer.StartChild(sc), sc.Span, in.Ino(), entryOff, time.Time{}, 0)
 			}
 		}
-		e.dwq.Enqueue(Node{Ino: in.Ino(), EntryOff: entryOff})
+		e.dwq.Enqueue(Node{
+			Ino: in.Ino(), EntryOff: entryOff,
+			Trace: sc.Trace, Span: sc.Span, Tenant: sc.Tenant,
+		})
 	})
 	return e
 }
@@ -130,7 +133,14 @@ func (e *Engine) ProcessEntry(node Node) bool {
 	// is installed; per-stage trace events only at the fine level.
 	o := e.obs
 	var start, mark time.Time
+	var psc obs.SpanContext
 	if o != nil {
+		// The process span is a child of the originating write's span (the
+		// node carries that context from the write hook) — the causal link
+		// that makes an async FACT txn attributable to the request and
+		// tenant that enqueued it. Untraced nodes get a zero context and
+		// emit plain events, as before.
+		psc = o.Tracer.StartChild(obs.SpanContext{Trace: node.Trace, Span: node.Span, Tenant: node.Tenant})
 		start = time.Now()
 		mark = start
 	}
@@ -140,6 +150,7 @@ func (e *Engine) ProcessEntry(node Node) bool {
 		}
 		now := time.Now()
 		d := now.Sub(mark)
+		stStart := mark
 		mark = now
 		var h *obs.Histogram
 		switch op {
@@ -152,16 +163,16 @@ func (e *Engine) ProcessEntry(node Node) bool {
 		case obs.OpDedupRemap:
 			h = o.Remap
 		}
-		h.Observe(d)
+		h.ObserveSpan(d, psc.Trace)
 		if o.Fine {
-			o.Tracer.Emit(op, node.Ino, arg, d)
+			o.Tracer.EmitSpan(op, o.Tracer.StartChild(psc), psc.Span, node.Ino, arg, stStart, d)
 		}
 	}
 	finish := func(processed bool) bool {
 		if o != nil {
 			d := time.Since(start)
-			o.Process.Observe(d)
-			o.Tracer.Emit(obs.OpDedupProcess, node.Ino, node.EntryOff, d)
+			o.Process.ObserveSpan(d, psc.Trace)
+			o.Tracer.EmitSpan(obs.OpDedupProcess, psc, node.Span, node.Ino, node.EntryOff, start, d)
 		}
 		return processed
 	}

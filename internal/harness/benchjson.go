@@ -19,13 +19,30 @@ import (
 // with the observability layer's latency percentiles and counters — the
 // same numbers `denovactl top` and FS.Metrics() expose.
 
-// LatencySummary is one op's percentile digest inside a BenchReport.
+// LatencySummary is one op's percentile digest inside a BenchReport. When
+// the run had tracing on, the p99 also carries its nearest latency exemplar
+// — the trace id of the slowest recent sample in that latency region — so a
+// regression in a report can be chased straight to a captured span tree.
 type LatencySummary struct {
 	Count int64 `json:"count"`
 	P50Ns int64 `json:"p50_ns"`
 	P95Ns int64 `json:"p95_ns"`
 	P99Ns int64 `json:"p99_ns"`
 	MaxNs int64 `json:"max_ns"`
+
+	P99TraceID    string `json:"p99_trace,omitempty"`       // exemplar trace id near the p99
+	P99ExemplarNs int64  `json:"p99_exemplar_ns,omitempty"` // that exemplar's observed latency
+}
+
+// latencySummary digests one histogram, attaching the p99 exemplar when the
+// run recorded one (tracing on).
+func latencySummary(h obs.HistogramStats) LatencySummary {
+	s := LatencySummary{Count: h.Count, P50Ns: h.P50Ns, P95Ns: h.P95Ns, P99Ns: h.P99Ns, MaxNs: h.MaxNs}
+	if ex, ok := h.ExemplarNear(h.P99Ns); ok {
+		s.P99TraceID = ex.TraceID
+		s.P99ExemplarNs = ex.ValueNs
+	}
+	return s
 }
 
 // PmemCounters is the device-activity slice of a BenchReport.
@@ -111,9 +128,7 @@ func buildReport(name string, res WriteResult, snap obs.Snapshot, queuePeak int)
 		if !ok || h.Count == 0 {
 			continue
 		}
-		rep.Latency[op] = LatencySummary{
-			Count: h.Count, P50Ns: h.P50Ns, P95Ns: h.P95Ns, P99Ns: h.P99Ns, MaxNs: h.MaxNs,
-		}
+		rep.Latency[op] = latencySummary(h)
 	}
 	return rep
 }
@@ -227,18 +242,14 @@ func buildProfileReport(name string, res ProfileResult, snap obs.Snapshot) Bench
 		rep.MBps = float64(res.Bytes) / (1 << 20) / res.Elapsed.Seconds()
 	}
 	for op, h := range res.Latency {
-		rep.Latency[op] = LatencySummary{
-			Count: h.Count, P50Ns: h.P50Ns, P95Ns: h.P95Ns, P99Ns: h.P99Ns, MaxNs: h.MaxNs,
-		}
+		rep.Latency[op] = latencySummary(h)
 	}
 	for _, op := range benchOps {
 		h, ok := snap.Histograms[op]
 		if !ok || h.Count == 0 {
 			continue
 		}
-		rep.Latency[op] = LatencySummary{
-			Count: h.Count, P50Ns: h.P50Ns, P95Ns: h.P95Ns, P99Ns: h.P99Ns, MaxNs: h.MaxNs,
-		}
+		rep.Latency[op] = latencySummary(h)
 	}
 	return rep
 }

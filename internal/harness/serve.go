@@ -35,6 +35,15 @@ type ServeProfileOptions struct {
 	// Server tunes the serving layer (zero value = server defaults). Tiny
 	// MaxInflight/QueueDepth values make the run exercise shed-and-retry.
 	Server server.Config
+	// Tracing sets the FS tracer level for the run (default TraceOff).
+	Tracing denova.TraceLevel
+	// SlowSpanThreshold enables tail-sampled slow-span capture on the
+	// served FS (needs Tracing >= TraceOps; see denova.Config).
+	SlowSpanThreshold time.Duration
+	// TraceWire hands every replay client the served FS's tracer and turns
+	// on wire trace-context propagation, so client.call spans and the
+	// server-side request spans join into single traces.
+	TraceWire bool
 }
 
 // ServeProfileResult is one networked run's measurement.
@@ -52,6 +61,12 @@ type ServeProfileResult struct {
 	OpLatency map[string]obs.HistogramStats
 	// Oracle is the expected end content of every live file.
 	Oracle map[string][]byte
+	// Snapshot is the full end-of-run metrics snapshot (histograms with
+	// exemplars, per-tenant counters, raw buckets).
+	Snapshot obs.Snapshot
+	// Slow holds the captured slow span trees (empty unless
+	// SlowSpanThreshold was set).
+	Slow []denova.SlowTrace
 }
 
 // serveWorker is one replay goroutine: its own connection, the handles and
@@ -188,7 +203,10 @@ func RunProfileOverServer(cfg FSConfig, prof workload.Profile, opts ServeProfile
 	}
 
 	dev := denova.NewDevice(opts.DevSize, opts.Profile)
-	fs, err := denova.Mkfs(dev, cfg.denovaConfig())
+	dcfg := cfg.denovaConfig()
+	dcfg.Tracing = opts.Tracing
+	dcfg.SlowSpanThreshold = opts.SlowSpanThreshold
+	fs, err := denova.Mkfs(dev, dcfg)
 	if err != nil {
 		return ServeProfileResult{}, err
 	}
@@ -201,8 +219,14 @@ func RunProfileOverServer(cfg FSConfig, prof workload.Profile, opts ServeProfile
 	}
 	defer srv.Close()
 
+	clOpts := client.Options{}
+	if opts.TraceWire {
+		clOpts.Tracer = fs.Tracer()
+		clOpts.TraceContext = true
+	}
+
 	// Tenant directories over the wire too: the run should touch MKDIR.
-	setup, err := client.Dial(addr, client.Options{})
+	setup, err := client.Dial(addr, clOpts)
 	if err != nil {
 		return ServeProfileResult{}, err
 	}
@@ -217,7 +241,7 @@ func RunProfileOverServer(cfg FSConfig, prof workload.Profile, opts ServeProfile
 
 	workers := make([]*serveWorker, opts.Threads)
 	for i := range workers {
-		cl, err := client.Dial(addr, client.Options{})
+		cl, err := client.Dial(addr, clOpts)
 		if err != nil {
 			setup.Close()
 			return ServeProfileResult{}, err
@@ -281,8 +305,10 @@ func RunProfileOverServer(cfg FSConfig, prof workload.Profile, opts ServeProfile
 			res.Oracle[prof.Path(key/prof.FilesPerTenant, key%prof.FilesPerTenant)] = data
 		}
 	}
-	snap := fs.Registry().Snapshot()
+	snap := fs.Metrics()
+	res.Snapshot = snap
 	res.Shed = snap.Counters["serve.shed"]
+	res.Slow = fs.SlowSpans()
 	for _, op := range wire.Ops() {
 		name := "serve.op." + op.String()
 		if st, ok := snap.Histograms[name]; ok && st.Count > 0 {

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+
+	"denova"
+	"denova/internal/obs"
+	"denova/internal/workload"
+)
+
+// DefaultSlowCapThreshold is the capture bound the slowcap artifact uses:
+// low enough that a CI-scale networked replay on the Optane profile reliably
+// crosses it (the artifact should never be empty), high enough that the
+// capture holds the run's tail rather than its median.
+const DefaultSlowCapThreshold = 100 * time.Microsecond
+
+// WriteSlowCapJSON replays the multitenant standard profile over the
+// serving layer — fine tracing, wire trace-context propagation, slow-span
+// capture armed at threshold (0 = DefaultSlowCapThreshold) — and writes the
+// captured span trees as SLOW_<profile>.json in Chrome trace-event format
+// into dir. CI archives the file next to the BENCH_*.json reports so a tail
+// regression flagged by the SLO gate ships with the span trees that explain
+// it. Returns the capture size and the artifact path.
+func WriteSlowCapJSON(dir string, threshold time.Duration) (int, string, error) {
+	if threshold <= 0 {
+		threshold = DefaultSlowCapThreshold
+	}
+	prof := workload.Multitenant(StandardProfileOps, 3)
+	res, err := RunProfileOverServer(StandardProfileModel(), prof, ServeProfileOptions{
+		Tracing:           denova.TraceFine,
+		SlowSpanThreshold: threshold,
+		TraceWire:         true,
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	path := filepath.Join(dir, "SLOW_"+benchSlug(prof.Name)+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, "", err
+	}
+	if err := obs.WriteChromeTrace(f, res.Slow); err != nil {
+		f.Close()
+		return 0, "", err
+	}
+	if err := f.Close(); err != nil {
+		return 0, "", err
+	}
+	return len(res.Slow), path, nil
+}

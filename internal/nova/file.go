@@ -22,15 +22,22 @@ import (
 // FlagNeeded when deduplication is enabled). It returns the device offset
 // of the committed write entry.
 func (fs *FS) Write(in *Inode, off uint64, data []byte, flag uint8) (uint64, error) {
+	return fs.WriteCtx(in, off, data, flag, obs.SpanContext{})
+}
+
+// WriteCtx is Write carrying the caller's span context: the write becomes
+// a child span (or a fresh root for untraced callers) and its five steps
+// become grandchildren at the fine trace level.
+func (fs *FS) WriteCtx(in *Inode, off uint64, data []byte, flag uint8, sc obs.SpanContext) (uint64, error) {
 	if len(data) == 0 {
 		return 0, nil
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return fs.writeLocked(in, off, data, flag)
+	return fs.writeLocked(in, off, data, flag, sc)
 }
 
-func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint64, error) {
+func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8, sc obs.SpanContext) (uint64, error) {
 	if in.dir {
 		return 0, fmt.Errorf("write: inode %d: %w", in.ino, ErrIsDir)
 	}
@@ -45,7 +52,9 @@ func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint6
 	fine := o != nil && o.Fine
 	var start, mark time.Time
 	var dAlloc, dFill, dLog, dRadix, dReclaim time.Duration
+	var wsc obs.SpanContext
 	if o != nil {
+		wsc = o.Tracer.ChildOrRoot(sc, sc.Tenant)
 		start = time.Now()
 		mark = start
 	}
@@ -120,24 +129,31 @@ func (fs *FS) writeLocked(in *Inode, off uint64, data []byte, flag uint8) (uint6
 	in.mtime = entry.Mtime
 	atomic.AddInt64(&fs.writes, 1)
 	if fs.onWrite != nil {
-		fs.onWrite(in, entryOff)
+		fs.onWrite(in, entryOff, wsc)
 	}
 	if o != nil {
 		total := time.Since(start)
-		o.Write.Observe(total)
+		o.Write.ObserveSpan(total, wsc.Trace)
 		o.WriteBytes.Add(int64(len(data)))
-		o.Tracer.Emit(obs.OpWrite, in.ino, uint64(len(data)), total)
+		o.Tracer.EmitSpan(obs.OpWrite, wsc, sc.Span, in.ino, uint64(len(data)), start, total)
 		if fine {
 			o.WriteAlloc.Observe(dAlloc)
 			o.WriteFill.Observe(dFill)
 			o.WriteLog.Observe(dLog)
 			o.WriteRadix.Observe(dRadix)
 			o.WriteReclaim.Observe(dReclaim)
-			o.Tracer.Emit(obs.OpWriteAlloc, in.ino, block, dAlloc)
-			o.Tracer.Emit(obs.OpWriteFill, in.ino, uint64(np), dFill)
-			o.Tracer.Emit(obs.OpWriteLog, in.ino, entryOff, dLog)
-			o.Tracer.Emit(obs.OpWriteRadix, in.ino, pg0, dRadix)
-			o.Tracer.Emit(obs.OpWriteReclaim, in.ino, 0, dReclaim)
+			// Step spans are children of the write span; their start times
+			// follow from the step durations (the steps run back to back).
+			at := start
+			emitStep := func(op obs.Op, arg uint64, d time.Duration) {
+				o.Tracer.EmitSpan(op, o.Tracer.StartChild(wsc), wsc.Span, in.ino, arg, at, d)
+				at = at.Add(d)
+			}
+			emitStep(obs.OpWriteAlloc, block, dAlloc)
+			emitStep(obs.OpWriteFill, uint64(np), dFill)
+			emitStep(obs.OpWriteLog, entryOff, dLog)
+			emitStep(obs.OpWriteRadix, pg0, dRadix)
+			emitStep(obs.OpWriteReclaim, 0, dReclaim)
 		}
 	}
 	if in.shouldThoroughGC() {
@@ -212,6 +228,11 @@ func (fs *FS) readPageInto(in *Inode, pg uint64, dst []byte) {
 // and not yet relinked overlay the radix tree, so the fast write path is
 // read-your-writes without the inode write lock.
 func (fs *FS) Read(in *Inode, off uint64, buf []byte) (int, error) {
+	return fs.ReadCtx(in, off, buf, obs.SpanContext{})
+}
+
+// ReadCtx is Read carrying the caller's span context.
+func (fs *FS) ReadCtx(in *Inode, off uint64, buf []byte, sc obs.SpanContext) (int, error) {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	if in.dir {
@@ -269,9 +290,10 @@ func (fs *FS) Read(in *Inode, off uint64, buf []byte) (int, error) {
 	}
 	if o != nil {
 		d := time.Since(start)
-		o.Read.Observe(d)
+		rsc := o.Tracer.ChildOrRoot(sc, sc.Tenant)
+		o.Read.ObserveSpan(d, rsc.Trace)
 		o.ReadBytes.Add(int64(n))
-		o.Tracer.Emit(obs.OpRead, in.ino, n, d)
+		o.Tracer.EmitSpan(obs.OpRead, rsc, sc.Span, in.ino, n, start, d)
 	}
 	return int(n), nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"denova/internal/obs"
 	"denova/internal/pmem"
 )
 
@@ -19,9 +20,12 @@ type BlockReleaser interface {
 }
 
 // WriteHook is invoked after a write entry has been committed, with the
-// inode and the entry's device offset. DeNOVA uses it to enqueue the entry
-// on the deduplication work queue. It is called with the inode lock held.
-type WriteHook func(ino *Inode, entryOff uint64)
+// inode, the entry's device offset, and the span context of the write that
+// committed it (zero when the op is untraced). DeNOVA uses it to enqueue
+// the entry on the deduplication work queue; the context makes the async
+// dedup work attributable to the originating request and tenant. It is
+// called with the inode lock held.
+type WriteHook func(ino *Inode, entryOff uint64, sc obs.SpanContext)
 
 // FS is a mounted NOVA-like file system instance.
 type FS struct {

@@ -229,7 +229,7 @@ func (fs *FS) thoroughGCLocked(in *Inode) (reclaimedPages int) {
 	if fs.onWrite != nil {
 		for _, p := range placeds {
 			if p.flag == FlagNeeded {
-				fs.onWrite(in, p.newOff)
+				fs.onWrite(in, p.newOff, obs.SpanContext{})
 			}
 		}
 	}

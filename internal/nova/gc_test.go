@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"denova/internal/obs"
 	"denova/internal/pmem"
 )
 
@@ -228,7 +229,7 @@ func TestThoroughGCReenqueuesDedupeNeeded(t *testing.T) {
 	t.Parallel()
 	var enqueued []uint64
 	dev := pmem.New(testDevSize, pmem.ProfileZero)
-	fs, err := Mkfs(dev, 64, WithWriteHook(func(in *Inode, off uint64) {
+	fs, err := Mkfs(dev, 64, WithWriteHook(func(in *Inode, off uint64, _ obs.SpanContext) {
 		enqueued = append(enqueued, off)
 	}))
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"denova/internal/obs"
 	"denova/internal/pmem"
 )
 
@@ -967,7 +968,7 @@ func TestWriteHookFires(t *testing.T) {
 	var mu sync.Mutex
 	var hooks []uint64
 	dev := pmem.New(testDevSize, pmem.ProfileZero)
-	fs, err := Mkfs(dev, 64, WithWriteHook(func(in *Inode, off uint64) {
+	fs, err := Mkfs(dev, 64, WithWriteHook(func(in *Inode, off uint64, _ obs.SpanContext) {
 		mu.Lock()
 		hooks = append(hooks, off)
 		mu.Unlock()

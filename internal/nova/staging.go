@@ -43,6 +43,11 @@ type stageBuf struct {
 	pages map[uint64][]byte // file page -> full PageSize image
 	size  uint64            // effective file size including staged bytes
 	flag  uint8             // dedupe-flag the relinked entries will carry
+	// sc is the span context of the most recent traced stager: the relink
+	// that eventually drains the buffer (possibly under a different
+	// request, or none) attributes its spans and dedup enqueues to that
+	// originating write's trace.
+	sc obs.SpanContext
 }
 
 func newStageBuf() *stageBuf {
@@ -68,6 +73,14 @@ func (st *stageBuf) effectiveSize(base uint64) uint64 {
 // durable at the next relink (File.Sync, truncate/GC quiesce, or the
 // staging flusher); a crash before that loses them — and only them.
 func (fs *FS) StageWrite(in *Inode, off uint64, data []byte, flag uint8) (int, error) {
+	return fs.StageWriteCtx(in, off, data, flag, obs.SpanContext{})
+}
+
+// StageWriteCtx is StageWrite carrying the caller's span context. The
+// buffer remembers the last traced stager so the eventual relink (and the
+// dedup work it enqueues) is attributed to the request that staged the
+// data.
+func (fs *FS) StageWriteCtx(in *Inode, off uint64, data []byte, flag uint8, sc obs.SpanContext) (int, error) {
 	if len(data) == 0 {
 		return 0, nil
 	}
@@ -82,7 +95,9 @@ func (fs *FS) StageWrite(in *Inode, off uint64, data []byte, flag uint8) (int, e
 	}
 	o := fs.obs
 	var start time.Time
+	var ssc obs.SpanContext
 	if o != nil {
+		ssc = o.Tracer.ChildOrRoot(sc, sc.Tenant)
 		start = time.Now()
 	}
 	st.mu.Lock()
@@ -90,6 +105,9 @@ func (fs *FS) StageWrite(in *Inode, off uint64, data []byte, flag uint8) (int, e
 		st.size = in.size
 	}
 	st.flag = flag
+	if ssc.Valid() {
+		st.sc = ssc
+	}
 	end := off + uint64(len(data))
 	written := uint64(0)
 	n := uint64(len(data))
@@ -122,9 +140,9 @@ func (fs *FS) StageWrite(in *Inode, off uint64, data []byte, flag uint8) (int, e
 	atomic.AddInt64(&fs.stagedBytes, int64(len(data)))
 	if o != nil {
 		d := time.Since(start)
-		o.Stage.Observe(d)
+		o.Stage.ObserveSpan(d, ssc.Trace)
 		o.StagedBytes.Add(int64(len(data)))
-		o.Tracer.Emit(obs.OpStageWrite, in.ino, uint64(len(data)), d)
+		o.Tracer.EmitSpan(obs.OpStageWrite, ssc, sc.Span, in.ino, uint64(len(data)), start, d)
 	}
 	return len(data), nil
 }
@@ -168,7 +186,13 @@ func (fs *FS) relinkLocked(in *Inode) (runs int, err error) {
 	fine := o != nil && o.Fine
 	var start, mark time.Time
 	var dAlloc, dFill, dLog, dInstall time.Duration
+	// The relink span continues the last traced stager's trace, so the
+	// batched commit (and the dedup work it enqueues) shows up under the
+	// request that staged the data — even when a later op triggered it.
+	osc := st.sc
+	var rsc obs.SpanContext
 	if o != nil {
+		rsc = o.Tracer.ChildOrRoot(osc, osc.Tenant)
 		start = time.Now()
 		mark = start
 	}
@@ -281,6 +305,7 @@ func (fs *FS) relinkLocked(in *Inode) (runs int, err error) {
 	pages := len(pgs)
 	st.pages = make(map[uint64][]byte)
 	st.size = 0
+	st.sc = obs.SpanContext{}
 
 	atomic.AddInt64(&fs.relinks, 1)
 	atomic.AddInt64(&fs.relinkRuns, int64(len(exts)))
@@ -291,22 +316,27 @@ func (fs *FS) relinkLocked(in *Inode) (runs int, err error) {
 	// entry per contiguous extent, not one per staged write.
 	if fs.onWrite != nil {
 		for i := range exts {
-			fs.onWrite(in, offs[i])
+			fs.onWrite(in, offs[i], rsc)
 		}
 	}
 	if o != nil {
 		total := time.Since(start)
-		o.Relink.Observe(total)
-		o.Tracer.Emit(obs.OpRelink, in.ino, uint64(len(exts)), total)
+		o.Relink.ObserveSpan(total, rsc.Trace)
+		o.Tracer.EmitSpan(obs.OpRelink, rsc, osc.Span, in.ino, uint64(len(exts)), start, total)
 		if fine {
 			o.RelinkAlloc.Observe(dAlloc)
 			o.RelinkFill.Observe(dFill)
 			o.RelinkLog.Observe(dLog)
 			o.RelinkInstall.Observe(dInstall)
-			o.Tracer.Emit(obs.OpRelinkAlloc, in.ino, uint64(len(exts)), dAlloc)
-			o.Tracer.Emit(obs.OpRelinkFill, in.ino, uint64(pages), dFill)
-			o.Tracer.Emit(obs.OpRelinkLog, in.ino, uint64(len(exts)), dLog)
-			o.Tracer.Emit(obs.OpRelinkInstall, in.ino, uint64(pages), dInstall)
+			at := start
+			emitStep := func(op obs.Op, arg uint64, d time.Duration) {
+				o.Tracer.EmitSpan(op, o.Tracer.StartChild(rsc), rsc.Span, in.ino, arg, at, d)
+				at = at.Add(d)
+			}
+			emitStep(obs.OpRelinkAlloc, uint64(len(exts)), dAlloc)
+			emitStep(obs.OpRelinkFill, uint64(pages), dFill)
+			emitStep(obs.OpRelinkLog, uint64(len(exts)), dLog)
+			emitStep(obs.OpRelinkInstall, uint64(pages), dInstall)
 		}
 	}
 	return len(exts), nil
@@ -344,5 +374,6 @@ func (in *Inode) discardStagingLocked() {
 	in.stage.mu.Lock()
 	in.stage.pages = make(map[uint64][]byte)
 	in.stage.size = 0
+	in.stage.sc = obs.SpanContext{}
 	in.stage.mu.Unlock()
 }

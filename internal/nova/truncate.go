@@ -64,6 +64,11 @@ func decodeTruncateEntry(rec layout.Record) (size, seq uint64, err error) {
 // deduplication is enabled, so the zero-tailed copy becomes a dedup
 // candidate like any other new page).
 func (fs *FS) Truncate(in *Inode, size uint64, flag uint8) error {
+	return fs.TruncateCtx(in, size, flag, obs.SpanContext{})
+}
+
+// TruncateCtx is Truncate carrying the caller's span context.
+func (fs *FS) TruncateCtx(in *Inode, size uint64, flag uint8, sc obs.SpanContext) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.dir {
@@ -77,12 +82,14 @@ func (fs *FS) Truncate(in *Inode, size uint64, flag uint8) error {
 	if size == in.size {
 		return nil
 	}
+	var tsc obs.SpanContext
 	if o := fs.obs; o != nil {
+		tsc = o.Tracer.ChildOrRoot(sc, sc.Tenant)
 		start := time.Now()
 		defer func() {
 			d := time.Since(start)
-			o.Truncate.Observe(d)
-			o.Tracer.Emit(obs.OpTruncate, in.ino, size, d)
+			o.Truncate.ObserveSpan(d, tsc.Trace)
+			o.Tracer.EmitSpan(obs.OpTruncate, tsc, sc.Span, in.ino, size, start, d)
 		}()
 	}
 	needRemap := false
@@ -157,7 +164,7 @@ func (fs *FS) Truncate(in *Inode, size uint64, flag uint8) error {
 	if tailRemap != nil {
 		fs.RemapLocked(in, tailRemap.PgOff, tailRemap.Block, tailEntryOff)
 		if fs.onWrite != nil && flag == FlagNeeded {
-			fs.onWrite(in, tailEntryOff)
+			fs.onWrite(in, tailEntryOff, tsc)
 		}
 	}
 	fs.applyTruncateLocked(in, size)

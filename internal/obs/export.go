@@ -15,6 +15,10 @@ type Snapshot struct {
 	Counters   map[string]int64          `json:"counters"`
 	Gauges     map[string]int64          `json:"gauges"`
 	Histograms map[string]HistogramStats `json:"histograms"`
+	// Buckets carries each histogram's raw (non-cumulative) bucket counts
+	// for the Prometheus exporter. Excluded from the JSON snapshot: the
+	// stable JSON schema exposes percentiles, not bucket layout.
+	Buckets map[string][]BucketCount `json:"-"`
 }
 
 // MarshalJSON is the stable snapshot encoding (indent-free; use
@@ -83,6 +87,27 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n%s_max %d\n", p, h.SumNs, p, h.Count, p, h.MaxNs); err != nil {
 			return err
 		}
+		// Real cumulative buckets ride a sibling series (<name>_ns_hist)
+		// typed histogram: the summary above keeps its name and type, and
+		// Grafana heatmap/exemplar panels get le-labeled buckets.
+		buckets := s.Buckets[n]
+		if len(buckets) == 0 {
+			continue
+		}
+		hp := p + "_hist"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", hp); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", hp, b.UpperNs, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n", hp, cum, hp, h.SumNs, hp, h.Count); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -131,6 +156,15 @@ func FormatEvent(ev Event) string {
 	s := fmt.Sprintf("%d shard=%d %-24s ino=%d arg=%d", ev.TS, ev.Shard, ev.Op.String(), ev.Ino, ev.Arg)
 	if ev.DurNs > 0 {
 		s += fmt.Sprintf(" dur=%dns", ev.DurNs)
+	}
+	if ev.Trace != 0 {
+		s += fmt.Sprintf(" trace=%s span=%s", TraceIDString(ev.Trace), TraceIDString(ev.Span))
+		if ev.Parent != 0 {
+			s += fmt.Sprintf(" parent=%s", TraceIDString(ev.Parent))
+		}
+		if ev.Tenant != 0 {
+			s += " tenant=" + TenantLabel(ev.Tenant)
+		}
 	}
 	return s
 }

@@ -36,8 +36,17 @@ func Serve(addr string, snap func() Snapshot, tracer *Tracer) (*Server, error) {
 		snap().WriteJSON(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
 		encodeTraceLast(w, tracer, r.URL.Query().Get("n"))
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		var slow []SlowTrace
+		if c := tracer.Capture(); c != nil {
+			slow = c.Slow()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteChromeTrace(w, slow); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
@@ -45,15 +54,21 @@ func Serve(addr string, snap func() Snapshot, tracer *Tracer) (*Server, error) {
 }
 
 func encodeTraceLast(w http.ResponseWriter, t *Tracer, nStr string) {
+	// Strict query parsing: a malformed, non-positive, or overflowing n is
+	// a client error, not a silent "dump everything".
+	n := 0
+	if nStr != "" {
+		v, err := strconv.Atoi(nStr)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad query: n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/json")
 	if t == nil {
 		EncodeTrace(w, nil)
 		return
-	}
-	n := 0
-	if nStr != "" {
-		if v, err := strconv.Atoi(nStr); err == nil {
-			n = v
-		}
 	}
 	dump := TraceDump{Frozen: t.Frozen(), Dropped: t.Dropped(), Emitted: t.Emitted()}
 	for _, ev := range t.Last(n) {

@@ -86,14 +86,45 @@ func bucketUpper(i int) int64 {
 	return bucketLower(i + 1)
 }
 
+// Exemplar windows: the 256 buckets fold into 8 coarse latency windows
+// (32 buckets each, i.e. 8 octaves per window), and each window keeps one
+// exemplar — the trace id of the slowest recent sample that landed there.
+// That is enough to resolve "what was the p99" to a concrete trace while
+// costing a fixed 8 slots per histogram.
+const (
+	exemplarWindows = 8
+	exemplarShift   = 5 // bucketIndex >> 5 → window
+	// exemplarMaxAgeNs lets a fresher (even if faster) sample replace a
+	// stale exemplar, so exemplars track recent behavior, not the
+	// all-time worst.
+	exemplarMaxAgeNs = int64(10 * time.Second)
+)
+
+// exemplarSlot is one window's exemplar. Fields are individually atomic;
+// a torn read (value from one sample, trace from another) is acceptable
+// for a debugging aid and never corrupts the histogram itself.
+type exemplarSlot struct {
+	val   int64
+	trace uint64
+	ts    int64
+}
+
+// Exemplar links a recorded latency to the trace that exhibited it.
+type Exemplar struct {
+	ValueNs int64  `json:"value_ns"`
+	Trace   uint64 `json:"-"`
+	TraceID string `json:"trace_id"`
+}
+
 // Histogram is a fixed-bucket latency histogram in nanoseconds. All methods
 // are safe for concurrent use; Observe performs three atomic adds and at
 // most one CAS loop (for the max), with no allocation.
 type Histogram struct {
-	count   int64
-	sum     int64
-	max     int64
-	buckets [HistBuckets]int64
+	count     int64
+	sum       int64
+	max       int64
+	buckets   [HistBuckets]int64
+	exemplars [exemplarWindows]exemplarSlot
 }
 
 // Observe records one duration.
@@ -115,8 +146,64 @@ func (h *Histogram) ObserveNs(ns int64) {
 	}
 }
 
+// ObserveSpan records one duration and, when trace is nonzero, offers it
+// as a latency exemplar for its window. With trace == 0 (tracing off, or
+// an untraced caller) it is exactly ObserveNs plus one branch, so span
+// instrumentation adds nothing to the untraced hot path.
+func (h *Histogram) ObserveSpan(d time.Duration, trace uint64) {
+	ns := d.Nanoseconds()
+	h.ObserveNs(ns)
+	if trace == 0 {
+		return
+	}
+	w := bucketIndex(ns) >> exemplarShift
+	e := &h.exemplars[w]
+	now := time.Now().UnixNano()
+	if ns < atomic.LoadInt64(&e.val) && now-atomic.LoadInt64(&e.ts) < exemplarMaxAgeNs {
+		return
+	}
+	atomic.StoreInt64(&e.val, ns)
+	atomic.StoreUint64(&e.trace, trace)
+	atomic.StoreInt64(&e.ts, now)
+}
+
+// Exemplars returns the current per-window exemplars, ascending by value.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.exemplars {
+		e := &h.exemplars[i]
+		tr := atomic.LoadUint64(&e.trace)
+		if tr == 0 {
+			continue
+		}
+		v := atomic.LoadInt64(&e.val)
+		out = append(out, Exemplar{ValueNs: v, Trace: tr, TraceID: TraceIDString(tr)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ValueNs < out[j].ValueNs })
+	return out
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.count) }
+
+// Buckets returns the non-empty buckets (per-bucket counts, not
+// cumulative) with their exclusive nanosecond upper bounds, for exporters
+// that need the raw distribution.
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
+	for i := 0; i < HistBuckets; i++ {
+		if n := atomic.LoadInt64(&h.buckets[i]); n != 0 {
+			out = append(out, BucketCount{UpperNs: bucketUpper(i), Count: n})
+		}
+	}
+	return out
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	UpperNs int64 // exclusive upper bound, ns
+	Count   int64
+}
 
 // Merge folds other into h (per-shard histogram aggregation). other should
 // be quiescent; concurrent observers on h are fine.
@@ -185,6 +272,25 @@ type HistogramStats struct {
 	P95Ns  int64   `json:"p95_ns"`
 	P99Ns  int64   `json:"p99_ns"`
 	MaxNs  int64   `json:"max_ns"`
+	// Exemplars, when span tracing fed this histogram, link latency
+	// windows to trace ids (ascending by value; absent otherwise).
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// ExemplarNear resolves a latency (e.g. P99Ns) to the exemplar whose
+// value is closest from above — the concrete trace to look at for "what
+// does a p99 op spend its time on". Falls back to the largest exemplar
+// when none is ≥ ns; ok is false when there are no exemplars at all.
+func (st HistogramStats) ExemplarNear(ns int64) (Exemplar, bool) {
+	if len(st.Exemplars) == 0 {
+		return Exemplar{}, false
+	}
+	for _, e := range st.Exemplars {
+		if e.ValueNs >= ns {
+			return e, true
+		}
+	}
+	return st.Exemplars[len(st.Exemplars)-1], true
 }
 
 // Stats summarizes the histogram. The summary is computed from one pass of
@@ -204,6 +310,7 @@ func (h *Histogram) Stats() HistogramStats {
 	if c > 0 {
 		st.MeanNs = float64(s) / float64(c)
 	}
+	st.Exemplars = h.Exemplars()
 	return st
 }
 
@@ -296,6 +403,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   make(map[string]int64, len(ctrs)),
 		Gauges:     make(map[string]int64, len(gaugs)),
 		Histograms: make(map[string]HistogramStats, len(hists)),
+		Buckets:    make(map[string][]BucketCount, len(hists)),
 	}
 	for _, n := range names.c {
 		snap.Counters[n] = ctrs[n].Load()
@@ -305,6 +413,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, n := range names.h {
 		snap.Histograms[n] = hists[n].Stats()
+		if b := hists[n].Buckets(); len(b) > 0 {
+			snap.Buckets[n] = b
+		}
 	}
 	return snap
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -136,7 +137,7 @@ func TestHistogramMerge(t *testing.T) {
 		t.Fatalf("merged count %d != %d", merged.Count(), whole.Count())
 	}
 	ws, ms := whole.Stats(), merged.Stats()
-	if ws != ms {
+	if !reflect.DeepEqual(ws, ms) {
 		t.Fatalf("merged stats differ:\n whole %+v\nmerged %+v", ws, ms)
 	}
 }

@@ -1,0 +1,406 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span-structured tracing on top of the event ring. A span is an Event
+// that additionally carries a SpanContext (trace id, span id, parent span
+// id, tenant), so per-request timelines can be reassembled across the
+// client, the server scheduler, the nova write path, and the async dedup
+// daemon. The ring stays the storage; spans are just richer events, and
+// the TraceOff invariant is untouched: emitting with tracing disabled is
+// one atomic load.
+
+// SpanContext identifies one span within one trace. The zero value is
+// "not traced": every span API treats it as a no-op input, so callers can
+// thread contexts unconditionally.
+type SpanContext struct {
+	Trace  uint64 // 64-bit trace id; 0 = no trace
+	Span   uint64 // this span's id within the trace
+	Tenant uint16 // tenant attribution (TenantID); 0 = unattributed
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 }
+
+// TenantID maps a zero-based tenant index (the NN in the workload's
+// "tenantNN/" path prefix) to the nonzero id spans carry; 0 stays the
+// "unattributed" sentinel.
+func TenantID(index int) uint16 {
+	if index < 0 {
+		return 0
+	}
+	return uint16(index + 1)
+}
+
+// TenantLabel renders a span tenant id back to the workload's directory
+// name ("" for unattributed).
+func TenantLabel(id uint16) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("tenant%02d", id-1)
+}
+
+// TraceIDString is the canonical rendering of a trace or span id.
+func TraceIDString(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// Span ids come from a process-wide counter mixed through splitmix64, so
+// allocation is one atomic add and ids are unique within a process and
+// collision-resistant across processes (the seed folds in the start time).
+var (
+	idCounter uint64
+	idSeed    = uint64(time.Now().UnixNano()) | 1
+)
+
+func newSpanID() uint64 {
+	z := (atomic.AddUint64(&idCounter, 1) * 0x9E3779B97F4A7C15) + idSeed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // 0 is the "no trace" sentinel
+	}
+	return z
+}
+
+// StartRoot opens a fresh trace and returns its root span context.
+// Returns the zero context (and costs one atomic load) when the tracer is
+// nil, off, or frozen, so downstream span emission short-circuits too.
+func (t *Tracer) StartRoot(tenant uint16) SpanContext { return t.Adopt(0, tenant) }
+
+// Adopt continues a trace started elsewhere (a client's trace id from the
+// wire) with a fresh span id; a zero trace id starts a fresh trace. Like
+// StartRoot it returns the zero context when tracing is disabled.
+func (t *Tracer) Adopt(trace uint64, tenant uint16) SpanContext {
+	if t == nil || atomic.LoadInt32(&t.state) < int32(TraceOps) {
+		return SpanContext{}
+	}
+	if trace == 0 {
+		trace = newSpanID()
+	}
+	return SpanContext{Trace: trace, Span: newSpanID(), Tenant: tenant}
+}
+
+// StartChild allocates a child span of parent, inheriting trace and
+// tenant. The zero parent yields the zero context, so disabled tracing
+// propagates without further checks.
+func (t *Tracer) StartChild(parent SpanContext) SpanContext {
+	if !parent.Valid() {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: parent.Trace, Span: newSpanID(), Tenant: parent.Tenant}
+}
+
+// ChildOrRoot continues parent when it is live and otherwise opens a
+// fresh root trace: ops that arrive with a wire context join it, while
+// local (library-API) ops become their own roots and are still judged for
+// slow capture.
+func (t *Tracer) ChildOrRoot(parent SpanContext, tenant uint16) SpanContext {
+	if parent.Valid() {
+		return t.StartChild(parent)
+	}
+	return t.StartRoot(tenant)
+}
+
+// SetCapture installs (or removes, with nil) the slow-span capture fed by
+// EmitSpan.
+func (t *Tracer) SetCapture(c *SlowCapture) {
+	if t == nil {
+		return
+	}
+	t.capture.Store(c)
+}
+
+// Capture returns the installed slow-span capture, if any.
+func (t *Tracer) Capture() *SlowCapture {
+	if t == nil {
+		return nil
+	}
+	return t.capture.Load()
+}
+
+// JudgeSlow submits a finished request's total duration to the slow
+// capture. EmitSpan judges root spans (parent == 0) automatically; the
+// server calls this explicitly for adopted spans whose parent is the
+// remote client's span.
+func (t *Tracer) JudgeSlow(sc SpanContext, dur time.Duration) {
+	if t == nil || !sc.Valid() {
+		return
+	}
+	if c := t.Capture(); c != nil {
+		c.judge(sc, dur.Nanoseconds())
+	}
+}
+
+// SpanRecord is one captured span inside a SlowTrace.
+type SpanRecord struct {
+	Op      string `json:"op"`
+	Trace   uint64 `json:"-"`
+	Span    uint64 `json:"-"`
+	Parent  uint64 `json:"-"`
+	SpanID  string `json:"span"`
+	ParID   string `json:"parent,omitempty"`
+	Tenant  uint16 `json:"tenant,omitempty"`
+	Ino     uint64 `json:"ino,omitempty"`
+	Arg     uint64 `json:"arg,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// SlowTrace is one captured request: every span observed for its trace
+// id, in arrival order (sort by StartNs for a timeline).
+type SlowTrace struct {
+	Trace   uint64       `json:"-"`
+	TraceID string       `json:"trace"`
+	Tenant  uint16       `json:"tenant,omitempty"`
+	RootNs  int64        `json:"root_ns"` // judged end-to-end duration
+	Spans   []SpanRecord `json:"spans"`
+	firstNs int64        // pending FIFO order
+}
+
+// Slow-capture sizing: pending traces wait bounded for their judgment
+// (and are FIFO-evicted if none arrives), judged-slow traces live in a
+// bounded FIFO ring, and any one trace keeps at most slowMaxSpans spans.
+const (
+	DefaultSlowTraces = 64
+	slowMaxPending    = 256
+	slowMaxSpans      = 256
+)
+
+// SlowCapture is the tail-sampling sink: EmitSpan feeds it every span of
+// every live trace; when a trace's root is judged at or over the
+// threshold the accumulated span tree is promoted into a bounded
+// FIFO ring, otherwise the pending entry ages out. Judged-slow traces
+// stay open so late async spans (staging relinks, dedup work) attach to
+// the request that caused them. Mutex-guarded: capture is only active
+// when tracing (and usually a threshold-worthy workload) is on, and span
+// emission is far off the TraceOff hot path.
+type SlowCapture struct {
+	mu        sync.Mutex //denova:locks(obs.slowcap)
+	threshold int64
+	maxTraces int
+	pending   map[uint64]*SlowTrace
+	pendOrder []uint64
+	slowIdx   map[uint64]*SlowTrace
+	slow      []*SlowTrace // oldest first
+	evicted   int64
+}
+
+// NewSlowCapture builds a capture that keeps the span trees of requests
+// whose judged duration is >= threshold, retaining at most capacity
+// traces (DefaultSlowTraces when <= 0).
+func NewSlowCapture(threshold time.Duration, capacity int) *SlowCapture {
+	if capacity <= 0 {
+		capacity = DefaultSlowTraces
+	}
+	return &SlowCapture{
+		threshold: threshold.Nanoseconds(),
+		maxTraces: capacity,
+		pending:   make(map[uint64]*SlowTrace),
+		slowIdx:   make(map[uint64]*SlowTrace),
+	}
+}
+
+// Threshold returns the slow judgment threshold.
+func (c *SlowCapture) Threshold() time.Duration { return time.Duration(c.threshold) }
+
+// Evicted returns how many traces were dropped (unjudged pending overflow
+// plus slow-ring overflow).
+func (c *SlowCapture) Evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
+func (c *SlowCapture) observe(op Op, sc SpanContext, parent uint64, startNs, durNs int64, ino, arg uint64) {
+	rec := SpanRecord{
+		Op: op.String(), Trace: sc.Trace, Span: sc.Span, Parent: parent,
+		Tenant: sc.Tenant, Ino: ino, Arg: arg, StartNs: startNs, DurNs: durNs,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.slowIdx[sc.Trace]; ok {
+		c.attach(st, rec)
+		return
+	}
+	st, ok := c.pending[sc.Trace]
+	if !ok {
+		st = &SlowTrace{Trace: sc.Trace, firstNs: startNs}
+		c.pending[sc.Trace] = st
+		c.pendOrder = append(c.pendOrder, sc.Trace)
+		for len(c.pending) > slowMaxPending {
+			victim := c.pendOrder[0]
+			c.pendOrder = c.pendOrder[1:]
+			if _, live := c.pending[victim]; live {
+				delete(c.pending, victim)
+				c.evicted++
+			}
+		}
+	}
+	c.attach(st, rec)
+}
+
+func (c *SlowCapture) attach(st *SlowTrace, rec SpanRecord) {
+	if st.Tenant == 0 && rec.Tenant != 0 {
+		st.Tenant = rec.Tenant
+	}
+	if len(st.Spans) < slowMaxSpans {
+		st.Spans = append(st.Spans, rec)
+	}
+}
+
+// judge decides a trace's fate once its root duration is known. Fast
+// traces are left pending (a later judgment — e.g. the client's, after
+// the server's — may still promote them); slow traces move to the ring,
+// evicting the oldest slow trace when full.
+func (c *SlowCapture) judge(sc SpanContext, durNs int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.slowIdx[sc.Trace]; ok {
+		if durNs > st.RootNs {
+			st.RootNs = durNs
+		}
+		return
+	}
+	if durNs < c.threshold {
+		return
+	}
+	st, ok := c.pending[sc.Trace]
+	if !ok {
+		st = &SlowTrace{Trace: sc.Trace, Tenant: sc.Tenant}
+	} else {
+		delete(c.pending, sc.Trace)
+	}
+	st.RootNs = durNs
+	if st.Tenant == 0 && sc.Tenant != 0 {
+		st.Tenant = sc.Tenant
+	}
+	c.slowIdx[sc.Trace] = st
+	c.slow = append(c.slow, st)
+	for len(c.slow) > c.maxTraces {
+		victim := c.slow[0]
+		c.slow = c.slow[1:]
+		delete(c.slowIdx, victim.Trace)
+		c.evicted++
+	}
+}
+
+// Slow returns the captured slow traces, oldest first, spans sorted by
+// start time. The result is a deep copy; the capture keeps running.
+func (c *SlowCapture) Slow() []SlowTrace {
+	c.mu.Lock()
+	out := make([]SlowTrace, 0, len(c.slow))
+	for _, st := range c.slow {
+		cp := SlowTrace{Trace: st.Trace, Tenant: st.Tenant, RootNs: st.RootNs}
+		cp.Spans = append([]SpanRecord(nil), st.Spans...)
+		out = append(out, cp)
+	}
+	c.mu.Unlock()
+	for i := range out {
+		st := &out[i]
+		st.TraceID = TraceIDString(st.Trace)
+		sort.SliceStable(st.Spans, func(a, b int) bool { return st.Spans[a].StartNs < st.Spans[b].StartNs })
+		for j := range st.Spans {
+			sp := &st.Spans[j]
+			sp.SpanID = TraceIDString(sp.Span)
+			if sp.Parent != 0 {
+				sp.ParID = TraceIDString(sp.Parent)
+			}
+		}
+	}
+	return out
+}
+
+// chromeLane buckets span ops into stable Chrome trace "threads" so the
+// client, server, nova, and dedup layers render as separate lanes.
+func chromeLane(op string) (int, string) {
+	switch {
+	case strings.HasPrefix(op, "client."):
+		return 1, "client"
+	case strings.HasPrefix(op, "serve."):
+		return 2, "server"
+	case strings.HasPrefix(op, "nova."):
+		return 3, "nova"
+	case strings.HasPrefix(op, "dedup."), strings.HasPrefix(op, "fact."):
+		return 4, "dedup"
+	}
+	return 5, "other"
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes slow traces in the Chrome trace-event JSON
+// format (load via chrome://tracing or Perfetto). Each trace becomes one
+// process; layers become threads; spans are complete ("X") events with
+// microsecond timestamps relative to the earliest span in the file.
+func WriteChromeTrace(w io.Writer, traces []SlowTrace) error {
+	base := int64(0)
+	for _, st := range traces {
+		for _, sp := range st.Spans {
+			if base == 0 || sp.StartNs < base {
+				base = sp.StartNs
+			}
+		}
+	}
+	var evs []chromeEvent
+	for i, st := range traces {
+		pid := i + 1
+		name := fmt.Sprintf("trace %s", TraceIDString(st.Trace))
+		if st.Tenant != 0 {
+			name += " " + TenantLabel(st.Tenant)
+		}
+		evs = append(evs, chromeEvent{Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": name}})
+		lanes := map[int]string{}
+		for _, sp := range st.Spans {
+			tid, lane := chromeLane(sp.Op)
+			lanes[tid] = lane
+			args := map[string]any{"trace": TraceIDString(sp.Trace), "span": TraceIDString(sp.Span)}
+			if sp.Parent != 0 {
+				args["parent"] = TraceIDString(sp.Parent)
+			}
+			if sp.Ino != 0 {
+				args["ino"] = sp.Ino
+			}
+			if sp.Arg != 0 {
+				args["arg"] = sp.Arg
+			}
+			evs = append(evs, chromeEvent{
+				Name: sp.Op, Ph: "X", PID: pid, TID: tid,
+				TS:   float64(sp.StartNs-base) / 1e3,
+				Dur:  float64(sp.DurNs) / 1e3,
+				Args: args,
+			})
+		}
+		for tid, lane := range lanes {
+			evs = append(evs, chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": lane}})
+		}
+	}
+	sort.SliceStable(evs, func(a, b int) bool {
+		if evs[a].PID != evs[b].PID {
+			return evs[a].PID < evs[b].PID
+		}
+		if (evs[a].Ph == "M") != (evs[b].Ph == "M") {
+			return evs[a].Ph == "M"
+		}
+		return evs[a].TS < evs[b].TS
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": evs})
+}

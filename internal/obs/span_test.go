@@ -1,0 +1,446 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanIDUniquenessConcurrent(t *testing.T) {
+	tr := NewTracer(TraceOps, 2, 64)
+	const gor, per = 8, 4000
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, gor*per*2)
+	var wg sync.WaitGroup
+	for g := 0; g < gor; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]uint64, 0, per*2)
+			for i := 0; i < per; i++ {
+				root := tr.StartRoot(1)
+				child := tr.StartChild(root)
+				if root.Span == 0 || child.Span == 0 || root.Trace == 0 {
+					t.Error("zero id from live tracer")
+					return
+				}
+				if child.Trace != root.Trace || child.Tenant != root.Tenant {
+					t.Error("child does not inherit trace/tenant")
+					return
+				}
+				ids = append(ids, root.Span, child.Span)
+			}
+			mu.Lock()
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate span id %016x", id)
+				}
+				seen[id] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSpanOffFastPath(t *testing.T) {
+	tr := NewTracer(TraceOff, 2, 64)
+	if sc := tr.StartRoot(3); sc.Valid() {
+		t.Fatalf("TraceOff StartRoot returned live context %+v", sc)
+	}
+	if sc := tr.Adopt(42, 3); sc.Valid() {
+		t.Fatalf("TraceOff Adopt returned live context %+v", sc)
+	}
+	tr.EmitSpan(OpWrite, SpanContext{Trace: 1, Span: 2}, 0, 7, 0, time.Now(), time.Millisecond)
+	if tr.Emitted() != 0 {
+		t.Fatal("TraceOff EmitSpan recorded an event")
+	}
+	var nilT *Tracer
+	if sc := nilT.StartRoot(0); sc.Valid() {
+		t.Fatal("nil tracer produced a context")
+	}
+	nilT.EmitSpan(OpWrite, SpanContext{}, 0, 0, 0, time.Time{}, 0) // must not panic
+	nilT.JudgeSlow(SpanContext{Trace: 1}, time.Second)             // must not panic
+}
+
+func TestSpanEventsCarryContext(t *testing.T) {
+	tr := NewTracer(TraceOps, 1, 64)
+	root := tr.StartRoot(TenantID(1))
+	child := tr.StartChild(root)
+	start := time.Now()
+	tr.EmitSpan(OpServeExec, child, root.Span, 9, 10, start, time.Microsecond)
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	ev := evs[0]
+	if ev.Trace != root.Trace || ev.Span != child.Span || ev.Parent != root.Span {
+		t.Fatalf("span context lost in ring: %+v vs root %+v child %+v", ev, root, child)
+	}
+	if ev.Tenant != TenantID(1) {
+		t.Fatalf("tenant lost: %d", ev.Tenant)
+	}
+	if ev.TS != start.UnixNano() {
+		t.Fatalf("span event TS %d, want span start %d", ev.TS, start.UnixNano())
+	}
+	if s := FormatEvent(ev); !strings.Contains(s, "trace=") || !strings.Contains(s, "tenant01") {
+		t.Fatalf("FormatEvent missing span fields: %q", s)
+	}
+}
+
+func TestSlowCaptureTreeAndLinkage(t *testing.T) {
+	tr := NewTracer(TraceOps, 1, 256)
+	tr.SetCapture(NewSlowCapture(time.Millisecond, 8))
+	base := time.Now()
+
+	root := tr.StartRoot(TenantID(2))
+	c1 := tr.StartChild(root)
+	c2 := tr.StartChild(root)
+	gc := tr.StartChild(c2)
+	tr.EmitSpan(OpServeQueue, c1, root.Span, 1, 0, base, 100*time.Microsecond)
+	tr.EmitSpan(OpWrite, c2, root.Span, 1, 0, base.Add(100*time.Microsecond), 2*time.Millisecond)
+	tr.EmitSpan(OpWriteAlloc, gc, c2.Span, 1, 0, base.Add(time.Millisecond), 10*time.Microsecond)
+	// Root emitted last with parent 0 → judged automatically by EmitSpan.
+	tr.EmitSpan(OpServeWrite, root, 0, 1, 0, base, 3*time.Millisecond)
+
+	slow := tr.Capture().Slow()
+	if len(slow) != 1 {
+		t.Fatalf("captured %d traces, want 1", len(slow))
+	}
+	st := slow[0]
+	if st.Trace != root.Trace || st.Tenant != TenantID(2) || st.RootNs != (3*time.Millisecond).Nanoseconds() {
+		t.Fatalf("bad slow trace header: %+v", st)
+	}
+	if len(st.Spans) != 4 {
+		t.Fatalf("captured %d spans, want 4", len(st.Spans))
+	}
+	// Spans sorted by start; ids rendered; parent links resolve.
+	ids := map[uint64]bool{}
+	for _, sp := range st.Spans {
+		ids[sp.Span] = true
+	}
+	for i, sp := range st.Spans {
+		if i > 0 && sp.StartNs < st.Spans[i-1].StartNs {
+			t.Fatalf("spans not sorted by start")
+		}
+		if sp.SpanID == "" {
+			t.Fatalf("span id not rendered: %+v", sp)
+		}
+		if sp.Parent != 0 && !ids[sp.Parent] {
+			t.Fatalf("span %q parent %016x not in tree", sp.Op, sp.Parent)
+		}
+	}
+
+	// A fast root is NOT captured...
+	fast := tr.StartRoot(0)
+	tr.EmitSpan(OpServeRead, fast, 0, 2, 0, base, 10*time.Microsecond)
+	if got := tr.Capture().Slow(); len(got) != 1 {
+		t.Fatalf("fast trace captured: %d traces", len(got))
+	}
+	// ...but stays pending, so a later slower judgment still promotes it
+	// (e.g. the client's end-to-end duration after the server's fast exec).
+	tr.JudgeSlow(fast, 5*time.Millisecond)
+	got := tr.Capture().Slow()
+	if len(got) != 2 || got[1].Trace != fast.Trace {
+		t.Fatalf("late judgment did not promote pending trace: %+v", got)
+	}
+	// Late async spans attach to an already-judged slow trace.
+	late := tr.StartChild(fast)
+	tr.EmitSpan(OpDedupProcess, late, fast.Span, 2, 0, base.Add(time.Second), time.Microsecond)
+	got = tr.Capture().Slow()
+	if len(got[1].Spans) != 2 {
+		t.Fatalf("late span did not attach: %+v", got[1].Spans)
+	}
+}
+
+func TestSlowRingEvictionOrder(t *testing.T) {
+	tr := NewTracer(TraceOps, 1, 64)
+	tr.SetCapture(NewSlowCapture(time.Millisecond, 4))
+	base := time.Now()
+	var traces []uint64
+	for i := 0; i < 10; i++ {
+		sc := tr.StartRoot(0)
+		traces = append(traces, sc.Trace)
+		tr.EmitSpan(OpServeWrite, sc, 0, uint64(i), 0, base.Add(time.Duration(i)*time.Millisecond), 2*time.Millisecond)
+	}
+	slow := tr.Capture().Slow()
+	if len(slow) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(slow))
+	}
+	// Oldest evicted first: survivors are the last 4 judged, oldest first.
+	for i, st := range slow {
+		if want := traces[6+i]; st.Trace != want {
+			t.Fatalf("ring[%d] = %016x, want %016x (FIFO eviction broken)", i, st.Trace, want)
+		}
+	}
+	if ev := tr.Capture().Evicted(); ev != 6 {
+		t.Fatalf("evicted = %d, want 6", ev)
+	}
+}
+
+func TestFreezeRacingEmitSpan(t *testing.T) {
+	// Freeze racing concurrent span emission (run under -race by `make
+	// race`): after Freeze returns and writers stop, the ring must be
+	// stable — nothing already frozen may be lost or overwritten.
+	tr := NewTracer(TraceOps, 4, 4096)
+	tr.SetCapture(NewSlowCapture(time.Millisecond, 4))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sc := tr.StartRoot(uint16(g))
+				tr.EmitSpan(OpWrite, sc, 0, uint64(g)<<32|uint64(i), 0, time.Now(), time.Microsecond)
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	tr.Freeze()
+	frozen := tr.Events()
+	close(stop)
+	wg.Wait()
+	after := tr.Events()
+	// Freeze is wait-free: an emitter that passed the level gate before the
+	// freeze CAS may still land its one in-flight event, overwriting at most
+	// one slot per racing goroutine. Beyond that bound the frozen prefix
+	// must survive verbatim (keyed by shard+seq — an overwritten slot gets a
+	// new seq and shows up as a loss).
+	type slotKey struct {
+		shard uint16
+		seq   uint64
+	}
+	got := make(map[slotKey]Event, len(after))
+	for _, e := range after {
+		got[slotKey{e.Shard, e.Seq}] = e
+	}
+	lost := 0
+	for _, e := range frozen {
+		if g, ok := got[slotKey{e.Shard, e.Seq}]; !ok || g != e {
+			lost++
+		}
+	}
+	if lost > 4 {
+		t.Fatalf("frozen ring lost %d events (> one per racing goroutine) of %d", lost, len(frozen))
+	}
+	// With every writer stopped the frozen ring is exact and stable.
+	again := tr.Events()
+	if len(again) != len(after) {
+		t.Fatalf("quiesced frozen ring changed size: %d -> %d", len(after), len(again))
+	}
+	for i := range after {
+		if after[i] != again[i] {
+			t.Fatalf("quiesced frozen event %d changed: %+v -> %+v", i, after[i], again[i])
+		}
+	}
+	if sc := tr.StartRoot(0); sc.Valid() {
+		t.Fatal("frozen tracer handed out a live span context")
+	}
+	tr.EmitSpan(OpWrite, SpanContext{Trace: 1, Span: 2}, 0, 0, 0, time.Now(), time.Microsecond)
+	if final := tr.Events(); len(final) != len(again) {
+		t.Fatalf("EmitSpan on a frozen tracer landed: %d -> %d events", len(again), len(final))
+	}
+}
+
+func TestExemplarsAndBuckets(t *testing.T) {
+	h := &Histogram{}
+	// Three samples in three distinct exemplar windows (each window spans
+	// 8 octaves: ~0.5µs–128µs, ~128µs–32ms, ~32ms–8s).
+	h.ObserveSpan(2500*time.Nanosecond, 111)
+	h.ObserveSpan(9*time.Millisecond, 222)
+	h.ObserveSpan(200*time.Millisecond, 333)
+	h.ObserveNs(500) // no trace: counted, no exemplar
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("got %d exemplars, want 3: %+v", len(ex), ex)
+	}
+	for i, e := range ex {
+		if e.Trace == 0 || e.TraceID == "" {
+			t.Fatalf("exemplar %d unresolved: %+v", i, e)
+		}
+		if i > 0 && e.ValueNs < ex[i-1].ValueNs {
+			t.Fatal("exemplars not ascending")
+		}
+	}
+	// A slower sample in the same window replaces the exemplar (9ms and
+	// 12ms share the middle window).
+	h.ObserveSpan(12*time.Millisecond, 444)
+	got, ok := h.Stats().ExemplarNear((10 * time.Millisecond).Nanoseconds())
+	if !ok || got.Trace != 444 {
+		t.Fatalf("ExemplarNear after replace: %+v ok=%v", got, ok)
+	}
+	// A faster one does not.
+	h.ObserveSpan(5*time.Millisecond, 555)
+	if got, _ := h.Stats().ExemplarNear((10 * time.Millisecond).Nanoseconds()); got.Trace != 444 {
+		t.Fatalf("faster sample displaced exemplar: %+v", got)
+	}
+	// ExemplarNear falls back to the largest when the target exceeds all.
+	if got, ok := h.Stats().ExemplarNear(1 << 62); !ok || got.Trace != 333 {
+		t.Fatalf("fallback exemplar wrong: %+v ok=%v", got, ok)
+	}
+
+	bc := h.Buckets()
+	if len(bc) == 0 {
+		t.Fatal("no raw buckets")
+	}
+	var n int64
+	for i, b := range bc {
+		n += b.Count
+		if b.UpperNs <= 0 {
+			t.Fatalf("bucket %d bad bound: %+v", i, b)
+		}
+		if i > 0 && b.UpperNs <= bc[i-1].UpperNs {
+			t.Fatal("bucket bounds not ascending")
+		}
+	}
+	if n != 6 {
+		t.Fatalf("bucket counts sum %d, want 6", n)
+	}
+}
+
+func TestPrometheusCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("serve.op.write")
+	h.ObserveNs(900)
+	h.ObserveNs(45_000)
+	h.ObserveNs(2_000_000)
+	snap := r.Snapshot()
+	if len(snap.Buckets["serve.op.write"]) == 0 {
+		t.Fatal("snapshot carries no raw buckets")
+	}
+	var buf bytes.Buffer
+	snap.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE denova_serve_op_write_ns_hist histogram") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `denova_serve_op_write_ns_hist_bucket{le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "denova_serve_op_write_ns_hist_count 3") {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+	// Cumulative: counts along le must be non-decreasing and end at 3.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `denova_serve_op_write_ns_hist_bucket{le="`) {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket series not cumulative at %q", line)
+		}
+		last = v
+	}
+	if last != 3 {
+		t.Fatalf("final cumulative count %d, want 3", last)
+	}
+}
+
+func TestHTTPTraceQueryValidation(t *testing.T) {
+	tr := NewTracer(TraceOps, 1, 64)
+	tr.SetCapture(NewSlowCapture(time.Millisecond, 4))
+	sc := tr.StartRoot(TenantID(0))
+	tr.EmitSpan(OpServeWrite, sc, 0, 1, 0, time.Now(), 2*time.Millisecond)
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r.Snapshot, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	for _, bad := range []string{
+		"/trace?n=0", "/trace?n=-3", "/trace?n=abc", "/trace?n=1.5",
+		"/trace?n=99999999999999999999999", // overflows int
+		"/trace?n=+",
+	} {
+		if code, body := get(bad); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400 (body %q)", bad, code, body)
+		}
+	}
+	if code, body := get("/trace?n=5"); code != http.StatusOK || !strings.Contains(body, "serve.op.write") {
+		t.Errorf("valid /trace failed: %d %q", code, body)
+	}
+	if code, _ := get("/trace"); code != http.StatusOK {
+		t.Errorf("absent n rejected: %d", code)
+	}
+	code, body := get("/slow")
+	if code != http.StatusOK {
+		t.Fatalf("/slow status %d", code)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil {
+		t.Fatalf("/slow is not Chrome trace JSON: %v\n%s", err, body)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("/slow carries no events despite a captured slow trace")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(TraceOps, 1, 64)
+	tr.SetCapture(NewSlowCapture(time.Millisecond, 4))
+	base := time.Now()
+	root := tr.StartRoot(TenantID(1))
+	child := tr.StartChild(root)
+	tr.EmitSpan(OpWrite, child, root.Span, 3, 4096, base, time.Millisecond)
+	tr.EmitSpan(OpServeWrite, root, 0, 3, 0, base, 2*time.Millisecond)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Capture().Slow()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	var x, meta int
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			x++
+			if ev.Dur <= 0 {
+				t.Errorf("complete event %q with dur %v", ev.Name, ev.Dur)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if x != 2 || meta == 0 {
+		t.Fatalf("chrome trace shape wrong: %d X events, %d meta\n%s", x, meta, buf.String())
+	}
+	if !strings.Contains(buf.String(), "tenant01") {
+		t.Fatal("tenant label missing from process name")
+	}
+}

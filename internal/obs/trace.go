@@ -64,6 +64,21 @@ const (
 	OpRelinkFill
 	OpRelinkLog
 	OpRelinkInstall
+	OpServeLookup
+	OpServeCreate
+	OpServeRead
+	OpServeWrite
+	OpServeTruncate
+	OpServeRemove
+	OpServeMkdir
+	OpServeReaddir
+	OpServeStat
+	OpServeCommit
+	OpServeAdmit
+	OpServeQueue
+	OpServeExec
+	OpServeReply
+	OpClientCall
 	opMax
 )
 
@@ -97,6 +112,21 @@ var opNames = [...]string{
 	OpRelinkFill:       "nova.write.relink.fill",
 	OpRelinkLog:        "nova.write.relink.log_commit",
 	OpRelinkInstall:    "nova.write.relink.install",
+	OpServeLookup:      "serve.op.lookup",
+	OpServeCreate:      "serve.op.create",
+	OpServeRead:        "serve.op.read",
+	OpServeWrite:       "serve.op.write",
+	OpServeTruncate:    "serve.op.truncate",
+	OpServeRemove:      "serve.op.remove",
+	OpServeMkdir:       "serve.op.mkdir",
+	OpServeReaddir:     "serve.op.readdir",
+	OpServeStat:        "serve.op.stat",
+	OpServeCommit:      "serve.op.commit",
+	OpServeAdmit:       "serve.admission",
+	OpServeQueue:       "serve.queue_wait",
+	OpServeExec:        "serve.exec",
+	OpServeReply:       "serve.reply",
+	OpClientCall:       "client.call",
 }
 
 func (o Op) String() string {
@@ -109,13 +139,17 @@ func (o Op) String() string {
 // Event is one trace record. Fixed size, stored by value in the ring, so
 // emitting never allocates.
 type Event struct {
-	TS    int64  `json:"ts_ns"`            // unix nanoseconds at emit
-	DurNs int64  `json:"dur_ns,omitempty"` // operation duration, 0 for points
-	Op    Op     `json:"op"`               // event type (Op.String() in JSON exports)
-	Shard uint16 `json:"shard"`            // ring shard that recorded it
-	Ino   uint64 `json:"ino,omitempty"`    // inode, when applicable
-	Arg   uint64 `json:"arg,omitempty"`    // op-specific (entry offset, block, count)
-	Seq   uint64 `json:"seq"`              // per-shard sequence (drop accounting)
+	TS     int64  `json:"ts_ns"`            // unix nanoseconds: span start, or emit time for plain events
+	DurNs  int64  `json:"dur_ns,omitempty"` // operation duration, 0 for points
+	Op     Op     `json:"op"`               // event type (Op.String() in JSON exports)
+	Shard  uint16 `json:"shard"`            // ring shard that recorded it
+	Ino    uint64 `json:"ino,omitempty"`    // inode, when applicable
+	Arg    uint64 `json:"arg,omitempty"`    // op-specific (entry offset, block, count)
+	Seq    uint64 `json:"seq"`              // per-shard sequence (drop accounting)
+	Trace  uint64 `json:"trace,omitempty"`  // trace id (spans only)
+	Span   uint64 `json:"span,omitempty"`   // this span's id (spans only)
+	Parent uint64 `json:"parent,omitempty"` // parent span id (spans only)
+	Tenant uint16 `json:"tenant,omitempty"` // tenant attribution (spans only)
 }
 
 // traceSlot is one ring cell. Every field is written and read atomically so
@@ -123,12 +157,15 @@ type Event struct {
 // same cell is a torn event at worst, never a data race. seq is stored last
 // and is 1-based; 0 means the cell was never written.
 type traceSlot struct {
-	ts   int64
-	dur  int64
-	meta uint64 // op in bits 0..15, shard in bits 16..31
-	ino  uint64
-	arg  uint64
-	seq  uint64 // claim sequence + 1
+	ts     int64
+	dur    int64
+	meta   uint64 // op in bits 0..15, shard in bits 16..31, tenant in bits 32..47
+	ino    uint64
+	arg    uint64
+	trace  uint64
+	span   uint64
+	parent uint64
+	seq    uint64 // claim sequence + 1
 }
 
 // traceShard is one ring segment: a power-of-two slot array with an atomic
@@ -149,13 +186,17 @@ func (sh *traceShard) load(i uint64) (Event, bool) {
 	}
 	meta := atomic.LoadUint64(&s.meta)
 	return Event{
-		TS:    atomic.LoadInt64(&s.ts),
-		DurNs: atomic.LoadInt64(&s.dur),
-		Op:    Op(meta & 0xFFFF),
-		Shard: uint16(meta >> 16),
-		Ino:   atomic.LoadUint64(&s.ino),
-		Arg:   atomic.LoadUint64(&s.arg),
-		Seq:   seq - 1,
+		TS:     atomic.LoadInt64(&s.ts),
+		DurNs:  atomic.LoadInt64(&s.dur),
+		Op:     Op(meta & 0xFFFF),
+		Shard:  uint16(meta >> 16),
+		Tenant: uint16(meta >> 32),
+		Ino:    atomic.LoadUint64(&s.ino),
+		Arg:    atomic.LoadUint64(&s.arg),
+		Trace:  atomic.LoadUint64(&s.trace),
+		Span:   atomic.LoadUint64(&s.span),
+		Parent: atomic.LoadUint64(&s.parent),
+		Seq:    seq - 1,
 	}, true
 }
 
@@ -164,10 +205,11 @@ func (sh *traceShard) load(i uint64) (Event, bool) {
 // is a single atomic load. Events are dropped oldest-first per shard when a
 // shard ring wraps.
 type Tracer struct {
-	state  int32 // TraceLevel; negative = frozen (post-crash)
-	shards []traceShard
-	mask   uint64
-	start  time.Time
+	state   int32 // TraceLevel; negative = frozen (post-crash)
+	shards  []traceShard
+	mask    uint64
+	start   time.Time
+	capture atomic.Pointer[SlowCapture] // slow-span sink; nil when tail sampling is off
 }
 
 // DefaultTraceEvents is the default total ring capacity.
@@ -259,14 +301,48 @@ func (t *Tracer) EmitShard(shard int, op Op, ino, arg uint64, dur time.Duration)
 }
 
 func (t *Tracer) emit(shard int, op Op, ino, arg uint64, dur time.Duration) {
+	t.emitFull(shard, op, ino, arg, time.Now().UnixNano(), dur.Nanoseconds(), SpanContext{}, 0)
+}
+
+// EmitSpan records a span: an event carrying sc's identity, the parent
+// span id, and the span's start time as its timestamp. Root spans
+// (parent == 0) are judged against the slow-capture threshold when a
+// capture is installed; every span of a live trace is offered to the
+// capture so judged-slow traces collect their full tree, including async
+// work that finishes after the root. Like Emit, disabled tracing costs
+// one atomic load.
+func (t *Tracer) EmitSpan(op Op, sc SpanContext, parent, ino, arg uint64, start time.Time, dur time.Duration) {
+	if t == nil || atomic.LoadInt32(&t.state) < int32(TraceOps) {
+		return
+	}
+	ts := start.UnixNano()
+	if start.IsZero() {
+		ts = time.Now().UnixNano()
+	}
+	durNs := dur.Nanoseconds()
+	t.emitFull(t.shardOf(ino), op, ino, arg, ts, durNs, sc, parent)
+	if sc.Trace != 0 {
+		if c := t.capture.Load(); c != nil {
+			c.observe(op, sc, parent, ts, durNs, ino, arg)
+			if parent == 0 {
+				c.judge(sc, durNs)
+			}
+		}
+	}
+}
+
+func (t *Tracer) emitFull(shard int, op Op, ino, arg uint64, ts, durNs int64, sc SpanContext, parent uint64) {
 	sh := &t.shards[shard]
 	seq := atomic.AddUint64(&sh.next, 1) - 1
 	s := &sh.slots[seq&t.mask]
-	atomic.StoreInt64(&s.ts, time.Now().UnixNano())
-	atomic.StoreInt64(&s.dur, dur.Nanoseconds())
-	atomic.StoreUint64(&s.meta, uint64(op)|uint64(shard)<<16)
+	atomic.StoreInt64(&s.ts, ts)
+	atomic.StoreInt64(&s.dur, durNs)
+	atomic.StoreUint64(&s.meta, uint64(op)|uint64(shard)<<16|uint64(sc.Tenant)<<32)
 	atomic.StoreUint64(&s.ino, ino)
 	atomic.StoreUint64(&s.arg, arg)
+	atomic.StoreUint64(&s.trace, sc.Trace)
+	atomic.StoreUint64(&s.span, sc.Span)
+	atomic.StoreUint64(&s.parent, parent)
 	atomic.StoreUint64(&s.seq, seq+1)
 }
 

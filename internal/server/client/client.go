@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"denova"
+	"denova/internal/obs"
 	"denova/internal/server/wire"
 )
 
@@ -38,6 +39,17 @@ type Options struct {
 	// RetrySeed seeds the jitter RNG; 0 seeds from the clock. Fixed seeds
 	// make backoff sequences reproducible in tests.
 	RetrySeed int64
+	// Tracer, when non-nil, opens one client.call root span per call
+	// (covering every retry attempt) at the tracer's configured level. For
+	// in-process loopback setups, pass the served FS's own tracer so client
+	// and server spans land in one ring and one slow-op capture.
+	Tracer *obs.Tracer
+	// TraceContext propagates the span over the wire: each request carries
+	// the call's trace and span ids in the optional trailing extension, and
+	// the server's spans join the client's trace. Leave false when talking
+	// to servers predating the extension — their strict decoders reject
+	// frames with trailing bytes. Requires Tracer.
+	TraceContext bool
 }
 
 func (o Options) withDefaults() Options {
@@ -182,7 +194,26 @@ func (c *Client) nextBackoff(prev time.Duration) time.Duration {
 }
 
 // call runs roundTrip with the retry loop for admission-control sheds.
+// With a Tracer configured, the whole call (all retry attempts) is one
+// client.call root span; with TraceContext, the request carries the span's
+// ids so the server's spans join the same trace.
 func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	tr := c.opts.Tracer
+	sc := tr.StartRoot(0)
+	var start time.Time
+	if sc.Valid() {
+		start = time.Now()
+		if c.opts.TraceContext {
+			req.Trace, req.Span = sc.Trace, sc.Span
+		}
+		defer func() {
+			d := time.Since(start)
+			// parent 0: a root span, judged against the slow-op threshold
+			// by EmitSpan itself. The server judges its own root too; the
+			// capture keeps whichever verdict is slower.
+			tr.EmitSpan(obs.OpClientCall, sc, 0, uint64(req.Handle), uint64(req.Op), start, d)
+		}()
+	}
 	backoff := c.opts.RetryBase
 	for attempt := 0; ; attempt++ {
 		resp, err := c.roundTrip(req)

@@ -7,14 +7,18 @@ import (
 	"time"
 
 	"denova"
+	"denova/internal/obs"
 	"denova/internal/server/wire"
 )
 
 // task is one admitted request bound to the session that must receive its
-// response.
+// response, plus the request's span state (zero when untraced).
 type task struct {
-	sess *session
-	req  *wire.Request
+	sess     *session
+	req      *wire.Request
+	sc       obs.SpanContext // server-side root span
+	arrival  time.Time       // frame decoded on the reader
+	enqueued time.Time       // admitted onto the shard queue
 }
 
 func defaultWorkers() int {
@@ -67,8 +71,24 @@ func (s *Server) worker(q chan task) {
 	defer s.workerWG.Done()
 	for t := range q {
 		start := time.Now()
-		resp := s.exec(t.req)
-		s.opHists[t.req.Op].Observe(time.Since(start))
+		if t.sc.Valid() {
+			s.tracer.EmitSpan(obs.OpServeQueue, s.tracer.StartChild(t.sc), t.sc.Span,
+				uint64(t.req.Handle), uint64(t.req.Op), t.enqueued, start.Sub(t.enqueued))
+		}
+		if d := s.cfg.ExecDelay; d != nil {
+			if dd := d(t.req); dd > 0 {
+				time.Sleep(dd)
+			}
+		}
+		resp := s.exec(t.req, t.sc)
+		execDur := time.Since(start)
+		// Exec-only duration, as before; the trace id rides along as the
+		// histogram's latency exemplar so a p99 bucket names a trace.
+		s.opHists[t.req.Op].ObserveSpan(execDur, t.sc.Trace)
+		if t.sc.Valid() {
+			s.tracer.EmitSpan(obs.OpServeExec, s.tracer.StartChild(t.sc), t.sc.Span,
+				uint64(t.req.Handle), uint64(resp.Status), start, execDur)
+		}
 		frame, err := wire.EncodeResponse(resp)
 		if err != nil {
 			// An unencodable success body (cannot happen with the size
@@ -77,15 +97,23 @@ func (s *Server) worker(q chan task) {
 				ID: resp.ID, Op: resp.Op, Status: wire.StatusIO, Msg: "response encoding failed",
 			})
 		}
-		t.sess.send(frame)
+		of := outFrame{frame: frame}
+		if t.sc.Valid() {
+			of.sc, of.parent, of.op = t.sc, t.req.Span, t.req.Op
+			of.handle = uint64(t.req.Handle)
+			of.arrival, of.wstart = t.arrival, time.Now()
+		}
+		t.sess.send(of)
 		s.inflight.Add(-1)
 	}
 }
 
 // exec runs one request against the FS and builds the response. Every
 // error path maps through wire.StatusOf, so the taxonomy on the wire is
-// exactly the public denova taxonomy.
-func (s *Server) exec(req *wire.Request) *wire.Response {
+// exactly the public denova taxonomy. The span context flows into the FS
+// data ops, making nova spans (and the dedup work a write enqueues)
+// children of this request's trace.
+func (s *Server) exec(req *wire.Request, sc obs.SpanContext) *wire.Response {
 	resp := &wire.Response{ID: req.ID, Op: req.Op}
 	fail := func(err error) *wire.Response {
 		resp.Status = wire.StatusOf(err)
@@ -100,12 +128,14 @@ func (s *Server) exec(req *wire.Request) *wire.Response {
 		}
 		resp.Handle = h
 		resp.Info = wireInfo(info)
+		s.rememberTenant(h, req.Path)
 	case wire.OpCreate:
 		f, err := s.fs.Create(req.Path)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Handle = f.Handle()
+		s.rememberTenant(resp.Handle, req.Path)
 	case wire.OpRead:
 		f, off, err := s.resolve(req)
 		if err != nil {
@@ -115,7 +145,7 @@ func (s *Server) exec(req *wire.Request) *wire.Response {
 			return fail(wire.StatusInvalid.Err("read length exceeds frame budget"))
 		}
 		buf := make([]byte, req.Size)
-		n, err := f.ReadAt(buf, off)
+		n, err := f.ReadAtSpan(buf, off, sc)
 		if err != nil {
 			return fail(err)
 		}
@@ -125,7 +155,7 @@ func (s *Server) exec(req *wire.Request) *wire.Response {
 		if err != nil {
 			return fail(err)
 		}
-		n, err := f.WriteAt(req.Data, off)
+		n, err := f.WriteAtSpan(req.Data, off, sc)
 		if err != nil {
 			return fail(err)
 		}
@@ -138,7 +168,7 @@ func (s *Server) exec(req *wire.Request) *wire.Response {
 		if req.Size > math.MaxInt64 {
 			return fail(wire.StatusInvalid.Err("truncate size overflows"))
 		}
-		if err := f.Truncate(int64(req.Size)); err != nil {
+		if err := f.TruncateSpan(int64(req.Size), sc); err != nil {
 			return fail(err)
 		}
 	case wire.OpRemove:

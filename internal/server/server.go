@@ -27,6 +27,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"denova"
 	"denova/internal/obs"
@@ -50,6 +51,11 @@ type Config struct {
 	// bounded by the frame byte budget regardless of this count. Default
 	// 1024.
 	ReaddirPage int
+	// ExecDelay, when set, is consulted per request and the returned
+	// duration slept inside the execution window (counted by the serve.op
+	// histogram and the serve.exec span). Test hook for injecting slow
+	// requests; nil in production.
+	ExecDelay func(req *wire.Request) time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +96,10 @@ type Server struct {
 	connWG     sync.WaitGroup
 	acceptDone chan struct{}
 
+	tracer       *obs.Tracer    // the FS tracer; spans no-op at TraceOff
+	tenants      tenantCounters // per-tenant op/byte/shed counters
+	handleTenant sync.Map       // denova.Handle -> uint16 tenant id
+
 	mu       sync.Mutex
 	sessions map[*session]struct{}
 }
@@ -112,6 +122,7 @@ func New(fs *denova.FS, cfg Config) *Server {
 	for _, op := range wire.Ops() {
 		s.opHists[op] = reg.Histogram("serve.op." + op.String())
 	}
+	s.tracer = fs.Tracer()
 	return s
 }
 
@@ -189,9 +200,23 @@ func (s *Server) acceptLoop() {
 // the connection dies so a dead client can never wedge the pool.
 type session struct {
 	conn      net.Conn
-	out       chan []byte
+	out       chan outFrame
 	done      chan struct{}
 	closeOnce sync.Once
+}
+
+// outFrame is one finished response heading to the writer goroutine,
+// carrying the span state the writer needs to close the request's root
+// span at the moment the reply actually leaves. All span fields are zero
+// for untraced requests, so the writer does no extra work at TraceOff.
+type outFrame struct {
+	frame   []byte
+	sc      obs.SpanContext // server-side root span of the request
+	parent  uint64          // client's span id (0: client sent no context)
+	op      wire.Op
+	handle  uint64
+	arrival time.Time // frame decoded on the reader goroutine
+	wstart  time.Time // response handed to the writer (reply span start)
 }
 
 func (sess *session) close() {
@@ -202,9 +227,9 @@ func (sess *session) close() {
 }
 
 // send enqueues a response frame, dropping it if the session is gone.
-func (sess *session) send(frame []byte) {
+func (sess *session) send(of outFrame) {
 	select {
-	case sess.out <- frame:
+	case sess.out <- of:
 	case <-sess.done:
 	}
 }
@@ -212,7 +237,7 @@ func (sess *session) send(frame []byte) {
 func (s *Server) handleConn(c net.Conn) {
 	sess := &session{
 		conn: c,
-		out:  make(chan []byte, s.cfg.QueueDepth),
+		out:  make(chan outFrame, s.cfg.QueueDepth),
 		done: make(chan struct{}),
 	}
 	s.mu.Lock()
@@ -237,10 +262,23 @@ func (s *Server) handleConn(c net.Conn) {
 		defer writerWG.Done()
 		for {
 			select {
-			case frame := <-sess.out:
-				if err := wire.WriteFrame(c, frame); err != nil {
+			case of := <-sess.out:
+				if err := wire.WriteFrame(c, of.frame); err != nil {
 					sess.close()
 					return
+				}
+				if of.sc.Valid() {
+					// Close the request's spans only once the reply has hit
+					// the socket: the reply span covers writer-queue + write,
+					// the root serve.op.<name> span covers arrival → reply
+					// and is what the slow-op capture judges.
+					now := time.Now()
+					s.tracer.EmitSpan(obs.OpServeReply, s.tracer.StartChild(of.sc), of.sc.Span,
+						of.handle, uint64(len(of.frame)), of.wstart, now.Sub(of.wstart))
+					total := now.Sub(of.arrival)
+					s.tracer.EmitSpan(wireOpSpan[of.op], of.sc, of.parent,
+						of.handle, uint64(len(of.frame)), of.arrival, total)
+					s.tracer.JudgeSlow(of.sc, total)
 				}
 			case <-sess.done:
 				return
@@ -272,25 +310,51 @@ func (s *Server) readLoop(sess *session) {
 }
 
 // dispatch applies admission control and routes the request to its worker.
+// Every request is attributed to a tenant (0 = unattributed) and, when
+// tracing is on, opens a server root span — adopting the client's trace id
+// from the wire extension when one arrived, minting a fresh one otherwise.
 func (s *Server) dispatch(sess *session, req *wire.Request) {
+	tenant := s.tenantOf(req)
+	ts := s.tenants.get(s, tenant)
+	ts.ops.Inc()
+	if req.Op == wire.OpWrite {
+		ts.bytes.Add(int64(len(req.Data)))
+	}
+	sc := s.tracer.Adopt(req.Trace, tenant)
+	var arrival time.Time
+	if sc.Valid() {
+		arrival = time.Now()
+	}
 	if n := s.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
 		s.inflight.Add(-1)
-		s.shedReq(sess, req, "server at max in-flight ops")
+		ts.shed.Inc()
+		s.shedReq(sess, req, sc, arrival, "server at max in-flight ops")
 		return
 	}
 	s.inflightG.Store(s.inflight.Load())
 	q := s.queues[shardKey(req)%uint64(len(s.queues))]
+	t := task{sess: sess, req: req, sc: sc, arrival: arrival}
+	if sc.Valid() {
+		t.enqueued = time.Now()
+	}
 	select {
-	case q <- task{sess: sess, req: req}:
+	case q <- t:
 		s.admitted.Inc()
+		if sc.Valid() {
+			s.tracer.EmitSpan(obs.OpServeAdmit, s.tracer.StartChild(sc), sc.Span,
+				uint64(req.Handle), uint64(req.Op), arrival, t.enqueued.Sub(arrival))
+		}
 	default:
 		s.inflight.Add(-1)
-		s.shedReq(sess, req, "worker queue full")
+		ts.shed.Inc()
+		s.shedReq(sess, req, sc, arrival, "worker queue full")
 	}
 }
 
 // shedReq answers a request with StatusRetry without consuming a worker.
-func (s *Server) shedReq(sess *session, req *wire.Request, why string) {
+// A traced shed still closes its root span (with the shed reason's tiny
+// duration), so per-tenant shed storms are visible in traces too.
+func (s *Server) shedReq(sess *session, req *wire.Request, sc obs.SpanContext, arrival time.Time, why string) {
 	s.shed.Inc()
 	frame, err := wire.EncodeResponse(&wire.Response{
 		ID: req.ID, Op: req.Op, Status: wire.StatusRetry, Msg: why,
@@ -298,7 +362,13 @@ func (s *Server) shedReq(sess *session, req *wire.Request, why string) {
 	if err != nil {
 		return // cannot happen: fixed-shape response
 	}
-	sess.send(frame)
+	of := outFrame{frame: frame}
+	if sc.Valid() {
+		of.sc, of.parent, of.op = sc, req.Span, req.Op
+		of.handle = uint64(req.Handle)
+		of.arrival, of.wstart = arrival, time.Now()
+	}
+	sess.send(of)
 }
 
 // shardKey partitions requests so that all ops against one object land on

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"testing"
+
+	"denova/internal/obs"
+	"denova/internal/server/wire"
+)
+
+// TestWireOpSpanNames pins the wire-op → span-op mapping: every real op has
+// a serve.op.<name> span whose suffix matches the wire op's String() form.
+func TestWireOpSpanNames(t *testing.T) {
+	t.Parallel()
+	for _, op := range wire.Ops() {
+		got := wireOpSpan[op]
+		if got == 0 {
+			t.Errorf("wire op %v has no span op", op)
+			continue
+		}
+		if want := "serve.op." + op.String(); got.String() != want {
+			t.Errorf("wireOpSpan[%v] = %q, want %q", op, got.String(), want)
+		}
+	}
+	if got := wireOpSpan[wire.OpInvalid]; got != 0 {
+		t.Errorf("OpInvalid mapped to %q, want none", got.String())
+	}
+}
+
+func TestParseTenant(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		path string
+		want uint16
+	}{
+		{"tenant00/a.dat", obs.TenantID(0)},
+		{"tenant01/dir/file", obs.TenantID(1)},
+		{"/tenant07/x", obs.TenantID(7)},
+		{"tenant42", obs.TenantID(42)},
+		{"tenant9/x", 0},   // one digit
+		{"tenant001/x", 0}, // three digits, no slash after NN
+		{"tenantXY/x", 0},
+		{"shared/tenant01/x", 0}, // prefix only
+		{"", 0},
+		{"/", 0},
+		{"t", 0},
+	}
+	for _, tc := range cases {
+		if got := parseTenant(tc.path); got != tc.want {
+			t.Errorf("parseTenant(%q) = %d, want %d", tc.path, got, tc.want)
+		}
+	}
+}

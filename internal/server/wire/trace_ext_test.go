@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"denova"
+)
+
+// decodePayload strips the frame length word and decodes the request.
+func decodePayload(t *testing.T, frame []byte) (*Request, error) {
+	t.Helper()
+	payload, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("frame: %v", err)
+	}
+	return DecodeRequest(payload)
+}
+
+func TestTraceExtRoundTrip(t *testing.T) {
+	t.Parallel()
+	req := &Request{ID: 7, Op: OpWrite, Handle: denova.Handle(99), Off: 4096,
+		Data: []byte("hello"), Trace: 0xDEADBEEFCAFE0001, Span: 0x1234}
+	frame, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodePayload(t, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != req.Trace || got.Span != req.Span {
+		t.Fatalf("trace context lost: got %x/%x want %x/%x", got.Trace, got.Span, req.Trace, req.Span)
+	}
+	// Span id 0 with a live trace still round-trips (trace presence is
+	// keyed on Trace alone).
+	req.Span = 0
+	frame, _ = EncodeRequest(req)
+	if got, err := decodePayload(t, frame); err != nil || got.Trace != req.Trace || got.Span != 0 {
+		t.Fatalf("zero-span context: %+v err=%v", got, err)
+	}
+}
+
+func TestTraceExtAbsentForUntraced(t *testing.T) {
+	t.Parallel()
+	with, err := EncodeRequest(&Request{ID: 1, Op: OpStat, Handle: 5, Trace: 1, Span: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := EncodeRequest(&Request{ID: 1, Op: OpStat, Handle: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old client → new server: an untraced frame is byte-identical to the
+	// pre-extension encoding — exactly traceExtSize shorter — and decodes
+	// to a zero context.
+	if len(with)-len(without) != traceExtSize {
+		t.Fatalf("extension size %d, want %d", len(with)-len(without), traceExtSize)
+	}
+	got, err := decodePayload(t, without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != 0 || got.Span != 0 {
+		t.Fatalf("untraced frame decoded a context: %+v", got)
+	}
+}
+
+func TestTraceExtTrailingGarbageStillRejected(t *testing.T) {
+	t.Parallel()
+	base, err := EncodeRequest(&Request{ID: 3, Op: OpStat, Handle: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch := func(extra []byte) []byte {
+		frame := append(append([]byte(nil), base...), extra...)
+		binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+		return frame
+	}
+	// A trailing run of traceExtSize bytes that does NOT open with the
+	// magic is garbage, not a context.
+	junk := make([]byte, traceExtSize)
+	for i := range junk {
+		junk[i] = 0xAA
+	}
+	if _, err := decodePayload(t, patch(junk)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("non-magic %d-byte tail accepted: %v", traceExtSize, err)
+	}
+	// Wrong-size tails stay rejected, magic or not.
+	short := binary.LittleEndian.AppendUint32(nil, traceExtMagic)
+	short = binary.LittleEndian.AppendUint64(short, 1)
+	if _, err := decodePayload(t, patch(short)); err == nil {
+		t.Fatal("truncated extension accepted")
+	}
+	long := append(patchExt(1, 2), 0xFF)
+	if _, err := decodePayload(t, patch(long)); err == nil {
+		t.Fatal("oversized extension accepted")
+	}
+	if _, err := decodePayload(t, patch([]byte{1})); err == nil {
+		t.Fatal("1-byte tail accepted")
+	}
+}
+
+// patchExt builds a well-formed trace extension suffix.
+func patchExt(trace, span uint64) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, traceExtMagic)
+	b = binary.LittleEndian.AppendUint64(b, trace)
+	return binary.LittleEndian.AppendUint64(b, span)
+}
+
+func TestTraceExtResponseUnaffected(t *testing.T) {
+	t.Parallel()
+	// Responses carry no extension; a traced request's response encodes
+	// and decodes exactly as before.
+	frame, err := EncodeResponse(&Response{ID: 9, Op: OpWrite, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeResponse(payload)
+	if err != nil || resp.N != 5 {
+		t.Fatalf("response round trip: %+v err=%v", resp, err)
+	}
+}

@@ -198,6 +198,13 @@ type Request struct {
 	Size   uint64        // read (length), truncate (target size)
 	Data   []byte        // write payload
 	Cookie uint32        // readdir: resume cursor (0 = first page)
+
+	// Trace/Span carry the optional trace-context extension: the client's
+	// trace id and calling span id, encoded as a magic-prefixed suffix
+	// after the op body (see traceExt*). Zero Trace means "no context" and
+	// encodes nothing, so frames to old servers are byte-identical.
+	Trace uint64
+	Span  uint64
 }
 
 // FileInfo is the wire form of file metadata.
@@ -231,6 +238,23 @@ const MaxFrame = 8 << 20
 const (
 	maxString = 1 << 14 // paths and error messages
 	maxNames  = 1 << 16 // readdir entries per response
+)
+
+// Trace-context extension: an optional 20-byte suffix after a request's op
+// body — u32 magic, u64 trace id, u64 span id. Backward compatibility is
+// structural, not negotiated:
+//
+//   - old client → new server: the suffix is absent, remain() is 0 at the
+//     extension check, the request decodes exactly as before;
+//   - new client → old server: old decoders reject trailing bytes, so a
+//     client only sends the suffix when configured for a server that
+//     understands it (client.Options.TraceContext);
+//   - the magic word keeps a corrupt or truncated frame that happens to
+//     leave 20 bytes from being misread as a context: without it the bytes
+//     fall through to done() and fail as trailing garbage, as before.
+const (
+	traceExtMagic = 0x43545845 // "EXTC", little-endian
+	traceExtSize  = 4 + 8 + 8
 )
 
 // appendString encodes a u16-prefixed string.
@@ -363,6 +387,11 @@ func EncodeRequest(req *Request) ([]byte, error) {
 	case OpCommit:
 		// no body
 	}
+	if req.Trace != 0 {
+		b = binary.LittleEndian.AppendUint32(b, traceExtMagic)
+		b = binary.LittleEndian.AppendUint64(b, req.Trace)
+		b = binary.LittleEndian.AppendUint64(b, req.Span)
+	}
 	binary.LittleEndian.PutUint32(b, uint32(len(b)-4))
 	return b, nil
 }
@@ -435,6 +464,16 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		}
 		req.Handle = denova.Handle(h)
 	case OpCommit:
+	}
+	if r.remain() == traceExtSize &&
+		binary.LittleEndian.Uint32(r.b[r.off:]) == traceExtMagic {
+		r.off += 4
+		if req.Trace, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if req.Span, err = r.u64(); err != nil {
+			return nil, err
+		}
 	}
 	if err := r.done(); err != nil {
 		return nil, err

@@ -45,6 +45,11 @@ func randRequest(rng *rand.Rand) *Request {
 	case OpStat:
 		req.Handle = denova.Handle(rng.Uint64())
 	}
+	if rng.Intn(3) == 0 {
+		// The optional trace-context extension rides on any op.
+		req.Trace = rng.Uint64() | 1
+		req.Span = rng.Uint64()
+	}
 	return req
 }
 

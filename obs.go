@@ -1,6 +1,8 @@
 package denova
 
 import (
+	"io"
+
 	"denova/internal/dedup"
 	"denova/internal/fact"
 	"denova/internal/nova"
@@ -30,6 +32,15 @@ const (
 // TraceEvent is one tracer record.
 type TraceEvent = obs.Event
 
+// SpanContext identifies one span within one trace; the zero value means
+// "untraced". Produced by Tracer().StartRoot/Adopt and accepted by the
+// *Span file operations.
+type SpanContext = obs.SpanContext
+
+// SlowTrace is one captured slow-request span tree (see Config.
+// SlowSpanThreshold).
+type SlowTrace = obs.SlowTrace
+
 // MetricsSnapshot is a stable point-in-time capture of every metric.
 type MetricsSnapshot = obs.Snapshot
 
@@ -53,6 +64,16 @@ func (f *FS) initObs() {
 	}
 	if f.engine != nil {
 		f.engine.SetObserver(dedup.NewObserver(f.reg, f.tracer, fine))
+	}
+	// Tail-sampled slow-op capture: root spans over the threshold keep
+	// their whole span tree. Requires the tracer to be on — with TraceOff
+	// no spans exist to capture.
+	if f.cfg.Tracing >= TraceOps && f.cfg.SlowSpanThreshold > 0 {
+		cap := f.cfg.SlowSpanCapacity
+		if cap <= 0 {
+			cap = obs.DefaultSlowTraces
+		}
+		f.tracer.SetCapture(obs.NewSlowCapture(f.cfg.SlowSpanThreshold, cap))
 	}
 	// Freeze the ring when an injected crash fires, so the final pre-crash
 	// events survive for a post-mortem dump (denovactl trace).
@@ -161,8 +182,27 @@ func (f *FS) Tracer() *obs.Tracer { return f.tracer }
 // buffered events when n <= 0).
 func (f *FS) TraceEvents(n int) []TraceEvent { return f.tracer.Last(n) }
 
+// SlowSpans returns the captured slow-request span trees, oldest first
+// (nil unless Config.SlowSpanThreshold enabled capture). Each trace's
+// spans are sorted by start time; a trace stays live in the ring and may
+// still gain late async spans (dedup work) on a later call.
+func (f *FS) SlowSpans() []SlowTrace {
+	c := f.tracer.Capture()
+	if c == nil {
+		return nil
+	}
+	return c.Slow()
+}
+
+// WriteSlowTrace writes the captured slow span trees as Chrome trace-event
+// JSON (load in chrome://tracing or Perfetto).
+func (f *FS) WriteSlowTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, f.SlowSpans())
+}
+
 // ServeMetrics starts an HTTP endpoint on addr exporting /metrics
-// (Prometheus text), /metrics.json, and /trace?n=N. Use ":0" for an
+// (Prometheus text), /metrics.json, /trace?n=N, and /slow (Chrome
+// trace-event JSON of the captured slow span trees). Use ":0" for an
 // ephemeral port (the server's Addr reports the bound address). The caller
 // closes the returned server.
 func (f *FS) ServeMetrics(addr string) (*obs.Server, error) {
